@@ -1,0 +1,286 @@
+// Package bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper (at reduced scale — use
+// cmd/characterize and cmd/simulate for full-scale regeneration), plus
+// ablation benches for the design choices called out in DESIGN.md §7.
+package bench
+
+import (
+	"testing"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/ddr"
+	"pacram/internal/exp"
+	"pacram/internal/memsys"
+	"pacram/internal/sim"
+	"pacram/internal/trace"
+)
+
+func charOpts() exp.CharOptions {
+	o := exp.DefaultCharOptions()
+	o.Rows = 6
+	return o
+}
+
+func sysOpts() exp.SysOptions {
+	o := exp.DefaultSysOptions()
+	o.Workloads = []string{"429.mcf"}
+	o.MixCount = 1
+	o.Instructions = 12_000
+	o.Warmup = 1_200
+	o.NRHs = []int{64}
+	return o
+}
+
+func benchTable(b *testing.B, f func() (*exp.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+	}
+}
+
+// ---- One benchmark per paper artifact --------------------------------
+
+func BenchmarkTable1Inventory(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Table1(charOpts()) })
+}
+
+func BenchmarkFig3PreventiveRefreshOverhead(b *testing.B) {
+	o := sysOpts()
+	o.Mitigations = []string{"PARA", "Graphene"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig3(o) })
+}
+
+func BenchmarkFig4Motivation(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig4(charOpts()) })
+}
+
+func BenchmarkFig6NRHvsTRAS(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"H5", "M2", "S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig6(o) })
+}
+
+func BenchmarkFig7LowestNRH(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig7(o) })
+}
+
+func BenchmarkFig8RowScatter(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig8(charOpts()) })
+}
+
+func BenchmarkFig9BER(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig9(o) })
+}
+
+func BenchmarkFig10Temperature(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig10(o) })
+}
+
+func BenchmarkFig11RepeatedRestore(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig11(o) })
+}
+
+func BenchmarkFig12ManyRestores(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig12(charOpts()) })
+}
+
+func BenchmarkFig13HalfDouble(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"H7"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig13(o) })
+}
+
+func BenchmarkFig14Retention(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig14(o) })
+}
+
+func BenchmarkFig16LatencySweep(b *testing.B) {
+	o := sysOpts()
+	o.Mitigations = []string{"RFM"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig16(o) })
+}
+
+func BenchmarkFig17Performance(b *testing.B) {
+	o := sysOpts()
+	o.Mitigations = []string{"RFM"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig17(o) })
+}
+
+func BenchmarkFig18Energy(b *testing.B) {
+	o := sysOpts()
+	o.Mitigations = []string{"PARA"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig18(o) })
+}
+
+func BenchmarkFig19PeriodicRefresh(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Fig19(sysOpts()) })
+}
+
+func BenchmarkTable3LowestNRH(b *testing.B) {
+	o := charOpts()
+	o.Modules = []string{"H5", "M2", "S6"}
+	benchTable(b, func() (*exp.Table, error) { return exp.Table3(o) })
+}
+
+func BenchmarkTable4PaCRAMConfig(b *testing.B) {
+	benchTable(b, func() (*exp.Table, error) { return exp.Table4(1024) })
+}
+
+func BenchmarkAreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.AreaReport() == nil {
+			b.Fatal("nil area report")
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §7) ----------------------------------------
+
+// BenchmarkAblationClosedFormHammer measures the closed-form device
+// evaluation against per-activation stepping (the design choice that
+// makes Algorithm 1 tractable in simulation).
+func BenchmarkAblationClosedFormHammer(b *testing.B) {
+	m, _ := chips.ByID("S6")
+	opt := chips.DefaultDeviceOptions()
+	pl, err := bender.New(m.NewChip(opt), opt.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := characterize.SelectRows(pl, 1)[0]
+	nb, _ := pl.FindNeighbors(victim)
+	const hc = 20000
+
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prog := []bender.Op{
+				bender.WriteRow{Row: victim},
+				bender.DoubleSidedHammer(nb.Near[0], nb.Near[1], hc, 33),
+				bender.ReadRow{Row: victim},
+			}
+			if _, err := pl.Run(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-activation", func(b *testing.B) {
+		body := make([]bender.Op, 0, 2*hc)
+		for i := 0; i < hc; i++ {
+			body = append(body,
+				bender.Act{Row: nb.Near[0], HoldNs: 33},
+				bender.Act{Row: nb.Near[1], HoldNs: 33})
+		}
+		// A Wait op in the body defeats the pure-ACT collapse, forcing
+		// element-wise execution.
+		body = append(body, bender.Wait{Ns: 0})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prog := append([]bender.Op{bender.WriteRow{Row: victim}}, bender.Loop{Count: 1, Body: body})
+			prog = append(prog, bender.ReadRow{Row: victim})
+			if _, err := pl.Run(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlastRadius compares preventive-refresh cost at
+// blast radius 1 vs 2 (the Half-Double coverage tax).
+func BenchmarkAblationBlastRadius(b *testing.B) {
+	spec, _ := trace.SpecByName("429.mcf")
+	for _, radius := range []int{1, 2} {
+		b.Run(map[int]string{1: "radius1", 2: "radius2"}[radius], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := sim.DefaultOptions(spec)
+				opt.MemCfg = sim.SmallMemConfig()
+				opt.MemCfg.BlastRadius = radius
+				opt.Instructions = 10_000
+				opt.Warmup = 1_000
+				opt.Mitigation = "PARA"
+				opt.NRH = 64
+				res, err := sim.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.PrevRefBusyFraction, "%busy")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFRGranularity compares the FR bit vector against a
+// coarser per-row-group variant (trade metadata for full restores).
+func BenchmarkAblationFRGranularity(b *testing.B) {
+	m, _ := chips.ByID("S6")
+	cfg, err := pacram.Derive(m, 4, 64, ddr.DDR5())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const banks, rows = 32, 4096
+	b.Run("per-row", func(b *testing.B) {
+		p := pacram.NewPolicy(cfg, banks, rows)
+		full := uint64(0)
+		for i := 0; i < b.N; i++ {
+			if p.VRRHold(i%banks, (i*7)%rows, float64(i)) == cfg.NominalTRASNs {
+				full++
+			}
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(full)/float64(b.N), "fullFrac")
+		}
+	})
+	b.Run("per-group64", func(b *testing.B) {
+		// Group granularity: one bit per 64 rows — any refresh in the
+		// group flips the whole group to P, so the group must be fully
+		// restored whenever any row's budget expires (simulated as a
+		// policy over rows/64 entries).
+		p := pacram.NewPolicy(cfg, banks, (rows+63)/64)
+		full := uint64(0)
+		for i := 0; i < b.N; i++ {
+			if p.VRRHold(i%banks, ((i*7)%rows)/64, float64(i)) == cfg.NominalTRASNs {
+				full++
+			}
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(full)/float64(b.N), "fullFrac")
+		}
+	})
+}
+
+// BenchmarkControllerThroughput measures raw simulator speed
+// (cycles/sec) to document the cost of the cycle-level model.
+func BenchmarkControllerThroughput(b *testing.B) {
+	cfg := sim.SmallMemConfig()
+	ctrl, err := memsys.NewController(cfg, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, _ := trace.SpecByName("470.lbm")
+	gen, _ := trace.New(spec, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%3 == 0 {
+			r := gen.Next()
+			ctrl.Issue(r.Addr, r.Write, nil)
+		}
+		ctrl.Tick()
+	}
+}

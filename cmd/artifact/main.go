@@ -1,0 +1,170 @@
+// Command artifact checks the paper's four artifact-evaluation claims
+// (Appendix A.5) against the reproduction, printing PASS/FAIL per
+// claim:
+//
+//	C1.1  Reducing tRAS lowers NRH / raises BER, and beyond a safe
+//	      minimum causes data-retention failures (Figs. 6, 9).
+//	C1.2  Repeated partial charge restoration can cause retention
+//	      failures, so it must be bounded (Fig. 11/12).
+//	C2.1  PaCRAM improves system performance for single-core and
+//	      multi-programmed workloads (Figs. 16, 17).
+//	C2.2  PaCRAM improves system energy efficiency (Fig. 18).
+//
+// Run with: go run ./cmd/artifact [-rows N] [-insts N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/mitigation"
+	"pacram/internal/sim"
+	"pacram/internal/trace"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 16, "rows per module for the characterization claims")
+		insts = flag.Uint64("insts", 40_000, "instructions per core for the system claims")
+		seed  = flag.Uint64("seed", 0x9ac24a, "seed")
+	)
+	flag.Parse()
+
+	failures := 0
+	check := func(id, desc string, pass bool, detail string) {
+		status := "PASS"
+		if !pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %-4s %s\n       %s\n", status, id, desc, detail)
+	}
+
+	// ---- C1.1 -----------------------------------------------------
+	{
+		mod, err := chips.ByID("S6")
+		must(err)
+		opt := chips.DefaultDeviceOptions()
+		opt.Seed = *seed
+		pl, err := bender.New(mod.NewChip(opt), *seed)
+		must(err)
+		pl.SetTemperature(80)
+		cfg := characterize.DefaultConfig()
+		testRows := characterize.SelectRows(pl, *rows)
+
+		var nrhNom, nrh045, retZero int
+		var berNom, ber045 float64
+		for _, v := range testRows {
+			nom, err := characterize.MeasureRow(pl, v, 33.0, 1, cfg)
+			must(err)
+			red, err := characterize.MeasureRow(pl, v, 0.45*33.0, 1, cfg)
+			must(err)
+			deep, err := characterize.MeasureRow(pl, v, 0.18*33.0, 1, cfg)
+			must(err)
+			nrhNom += nom.NRH
+			nrh045 += red.NRH
+			berNom += nom.BER
+			ber045 += red.BER
+			if deep.NRH == 0 {
+				retZero++
+			}
+		}
+		pass := nrh045 < nrhNom && ber045 > berNom && retZero == len(testRows)
+		check("C1.1", "reduced tRAS lowers NRH, raises BER; beyond safe minimum retention fails", pass,
+			fmt.Sprintf("S6: mean NRH %d -> %d at 0.45 tRAS; mean BER %.4f -> %.4f; %d/%d rows fail without hammering at 0.18 tRAS",
+				nrhNom/len(testRows), nrh045/len(testRows),
+				berNom/float64(len(testRows)), ber045/float64(len(testRows)),
+				retZero, len(testRows)))
+	}
+
+	// ---- C1.2 -----------------------------------------------------
+	{
+		mod, err := chips.ByID("S6")
+		must(err)
+		opt := chips.DefaultDeviceOptions()
+		opt.Seed = *seed
+		pl, err := bender.New(mod.NewChip(opt), *seed)
+		must(err)
+		pl.SetTemperature(80)
+		testRows := characterize.SelectRows(pl, *rows)
+		failedOnce, failedMany := 0, 0
+		for _, r := range testRows {
+			f1, err := characterize.MeasureRetentionRow(pl, r, 0.36*33.0, 1, 64)
+			must(err)
+			fMany, err := characterize.MeasureRetentionRow(pl, r, 0.36*33.0, 5000, 64)
+			must(err)
+			if f1 {
+				failedOnce++
+			}
+			if fMany {
+				failedMany++
+			}
+		}
+		pass := failedOnce == 0 && failedMany > 0
+		check("C1.2", "repeated partial restoration causes failures; a single one does not", pass,
+			fmt.Sprintf("S6 at 0.36 tRAS within 64ms: %d/%d rows fail after 1 restore, %d/%d after 5000",
+				failedOnce, len(testRows), failedMany, len(testRows)))
+	}
+
+	// ---- C2.1 / C2.2 ----------------------------------------------
+	{
+		mod, err := chips.ByID("H5")
+		must(err)
+		cfg, err := pacram.Derive(mod, 4 /* 0.36 tRAS */, 64, sim.SmallMemConfig().Timing)
+		must(err)
+
+		spec, err := trace.SpecByName("429.mcf")
+		must(err)
+		mix := trace.Mixes()[0]
+
+		run := func(workloads []trace.Spec, pc *pacram.Config) sim.Result {
+			o := sim.DefaultOptions(workloads...)
+			o.MemCfg = sim.SmallMemConfig()
+			o.Instructions = *insts
+			o.Warmup = *insts / 10
+			o.Mitigation = mitigation.NameRFM
+			o.NRH = 64
+			o.PaCRAM = pc
+			o.Seed = *seed
+			res, err := sim.Run(o)
+			must(err)
+			return res
+		}
+
+		s0 := run([]trace.Spec{spec}, nil)
+		s1 := run([]trace.Spec{spec}, &cfg)
+		m0 := run(mix.Specs[:], nil)
+		m1 := run(mix.Specs[:], &cfg)
+
+		perfPass := s1.IPC[0] > s0.IPC[0] && m1.SumIPC() > m0.SumIPC()
+		check("C2.1", "PaCRAM improves single-core and multi-core performance", perfPass,
+			fmt.Sprintf("RFM@64 + PaCRAM-H: single IPC %.4f -> %.4f (%+.2f%%); mix throughput %.4f -> %.4f (%+.2f%%)",
+				s0.IPC[0], s1.IPC[0], 100*(s1.IPC[0]/s0.IPC[0]-1),
+				m0.SumIPC(), m1.SumIPC(), 100*(m1.SumIPC()/m0.SumIPC()-1)))
+
+		energyPass := s1.Energy.PrevRefresh < s0.Energy.PrevRefresh &&
+			s1.Energy.Total() < s0.Energy.Total()
+		check("C2.2", "PaCRAM improves energy efficiency", energyPass,
+			fmt.Sprintf("preventive-refresh energy %.3g -> %.3g J; total %.3g -> %.3g J",
+				s0.Energy.PrevRefresh, s1.Energy.PrevRefresh,
+				s0.Energy.Total(), s1.Energy.Total()))
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d claim(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall claims PASS")
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "artifact:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command pacramcfg derives PaCRAM operating points from the module
+// characterization data: NRH scaling factor, NPCR, the full-charge-
+// restoration interval (tFCRI), and the metadata cost — the workflow
+// of the paper's §8.3 and Appendix C Table 4.
+//
+// Examples:
+//
+//	pacramcfg -module S6 -nrh 3900       # all factors for one module
+//	pacramcfg -module H5 -best -nrh 64   # best operating point
+//	pacramcfg -all -nrh 1024             # full Table 4
+//	pacramcfg -area                      # §8.4 hardware cost report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/ddr"
+	"pacram/internal/exp"
+)
+
+func main() {
+	var (
+		module = flag.String("module", "", "module ID (e.g. H5, M2, S6)")
+		nrh    = flag.Int("nrh", 1024, "RowHammer threshold of the wrapped mitigation mechanism")
+		best   = flag.Bool("best", false, "print only the best operating point for the module")
+		all    = flag.Bool("all", false, "print the full per-module configuration table (Table 4)")
+		area   = flag.Bool("area", false, "print the hardware cost report (§8.4)")
+		ddr5   = flag.Bool("ddr5", false, "derive against DDR5 timings (default DDR4, as characterized)")
+	)
+	flag.Parse()
+
+	timing := ddr.DDR4()
+	if *ddr5 {
+		timing = ddr.DDR5()
+	}
+
+	switch {
+	case *area:
+		if err := exp.AreaReport().Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *all:
+		tbl, err := exp.Table4(*nrh)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *module != "":
+		m, err := chips.ByID(*module)
+		if err != nil {
+			fatal(err)
+		}
+		if *best {
+			cfg, err := pacram.BestFactor(m, *nrh, timing)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(cfg)
+			return
+		}
+		for idx := 1; idx < len(chips.Factors); idx++ {
+			cfg, err := pacram.Derive(m, idx, *nrh, timing)
+			if err != nil {
+				fmt.Printf("factor %.2f: not applicable (%v)\n", chips.Factors[idx], err)
+				continue
+			}
+			fmt.Println(cfg)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pacramcfg: %v\n", err)
+	os.Exit(1)
+}

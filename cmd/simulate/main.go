@@ -1,0 +1,163 @@
+// Command simulate runs the system-level experiments of the paper
+// (Figs. 3 and 16-19, plus the §8.4 area report): trace-driven cores
+// over the DDR5 memory system with the five RowHammer mitigation
+// mechanisms, with and without PaCRAM.
+//
+// Examples:
+//
+//	simulate -exp fig3                      # preventive-refresh overhead sweep
+//	simulate -exp fig17 -nrh 1024,256,64    # performance vs threshold
+//	simulate -exp fig16 -workloads 429.mcf -mitigations RFM
+//	simulate -exp all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pacram/internal/exp"
+	"pacram/internal/sim"
+	"pacram/internal/trace"
+)
+
+var experiments = []string{"fig3", "fig16", "fig17", "fig18", "fig19", "area", "run", "takeaways"}
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "fig3", "experiment id, comma-separated list, or 'all': "+strings.Join(experiments, " "))
+		insts     = flag.Uint64("insts", 60_000, "instructions per core (paper: 100M)")
+		warmup    = flag.Uint64("warmup", 6_000, "warmup instructions per core (paper: 10M)")
+		nrhs      = flag.String("nrh", "1024,256,64", "RowHammer thresholds to simulate")
+		mixes     = flag.Int("mixes", 3, "number of 4-core mixes (paper: 60)")
+		workloads = flag.String("workloads", "", "comma-separated single-core workloads (default: representative six)")
+		mechs     = flag.String("mitigations", "", "comma-separated mechanisms (default: all five)")
+		traceFile = flag.String("tracefile", "", "replay a trace file on one core (with -exp run)")
+		seed      = flag.Uint64("seed", 0x51317, "simulation seed")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	flag.Parse()
+
+	opt := exp.DefaultSysOptions()
+	opt.Instructions = *insts
+	opt.Warmup = *warmup
+	opt.MixCount = *mixes
+	opt.Seed = *seed
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *mechs != "" {
+		opt.Mitigations = strings.Split(*mechs, ",")
+	}
+	opt.NRHs = opt.NRHs[:0]
+	for _, s := range strings.Split(*nrhs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "simulate: bad NRH %q\n", s)
+			os.Exit(1)
+		}
+		opt.NRHs = append(opt.NRHs, v)
+	}
+
+	if *traceFile != "" {
+		if err := runTraceFile(*traceFile, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ids := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		ids = experiments
+	}
+	for _, id := range ids {
+		tbl, err := runExperiment(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func runExperiment(id string, opt exp.SysOptions) (*exp.Table, error) {
+	switch id {
+	case "fig3":
+		return exp.Fig3(opt)
+	case "fig16":
+		return exp.Fig16(opt)
+	case "fig17":
+		return exp.Fig17(opt)
+	case "fig18":
+		return exp.Fig18(opt)
+	case "fig19":
+		return exp.Fig19(opt)
+	case "area":
+		return exp.AreaReport(), nil
+	case "run":
+		return exp.RunTable(opt)
+	case "takeaways":
+		return exp.Takeaways(exp.DefaultCharOptions(), opt)
+	}
+	return nil, fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(experiments, " "))
+}
+
+// runTraceFile replays a trace file on a single core and prints the
+// detailed statistics.
+func runTraceFile(path string, o exp.SysOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.ReadRecords(f)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewReplay(path, recs)
+	if err != nil {
+		return err
+	}
+	sopt := sim.DefaultOptions()
+	sopt.Generators = []trace.Generator{gen}
+	sopt.MemCfg = sim.SmallMemConfig()
+	sopt.Instructions = o.Instructions
+	sopt.Warmup = o.Warmup
+	sopt.NRH = o.NRHs[0]
+	if len(o.Mitigations) == 1 {
+		sopt.Mitigation = o.Mitigations[0]
+	}
+	res, err := sim.Run(sopt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s (%d records): IPC %.4f, %d reads, %d writes, %d ACTs, prev-ref busy %.3f%%, energy %.3g J\n",
+		path, len(recs), res.IPC[0], res.Stats.Reads, res.Stats.Writes,
+		res.Stats.Acts, 100*res.PrevRefBusyFraction, res.Energy.Total())
+	return nil
+}
+
+func writeCSV(dir string, tbl *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

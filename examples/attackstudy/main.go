@@ -1,0 +1,93 @@
+// Attack study: explores RowHammer access patterns on the modeled
+// chips — double-sided vs single-sided vs Half-Double, the effect of
+// RowPress-style long open times, and how the paper's reduced
+// preventive-refresh latency changes each attack's effectiveness.
+//
+// Run with: go run ./examples/attackstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+)
+
+func main() {
+	for _, id := range []string{"H7", "S6"} {
+		module, err := chips.ByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := chips.DefaultDeviceOptions()
+		platform, err := bender.New(module.NewChip(opt), opt.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		platform.SetTemperature(80)
+		fmt.Printf("=== Module %s (%s) ===\n", id, module.Info.Mfr.FullName())
+		study(platform)
+		fmt.Println()
+	}
+}
+
+func study(pl *bender.Platform) {
+	rows := characterize.SelectRows(pl, 8)
+	victim := rows[len(rows)/2]
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phys := pl.Scramble().Physical(victim)
+	dp := pl.Chip().WorstPattern(phys)
+	tras := pl.Timing().TRAS
+
+	fmt.Printf("victim logical row %d -> physical %d, WCDP %v\n", victim, phys, dp)
+	fmt.Printf("neighbours: near %v, far %v (reverse-engineered)\n", nb.Near, nb.Far)
+
+	// 1. Pattern effectiveness at a fixed 60K budget of activations.
+	probe := func(name string, prog []bender.Op) {
+		res, err := pl.Run(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %6d bitflips\n", name, res[0])
+	}
+	const budget = 60000
+	fmt.Printf("attack patterns with a %d-activation budget:\n", budget)
+	probe("double-sided (30K+30K)", []bender.Op{
+		bender.WriteRow{Row: victim, Pattern: dp},
+		bender.DoubleSidedHammer(nb.Near[0], nb.Near[1], budget/2, tras),
+		bender.ReadRow{Row: victim},
+	})
+	probe("single-sided (60K)", []bender.Op{
+		bender.WriteRow{Row: victim, Pattern: dp},
+		bender.Loop{Count: budget, Body: []bender.Op{bender.Act{Row: nb.Near[0], HoldNs: tras}}},
+		bender.ReadRow{Row: victim},
+	})
+	probe("RowPress (15K at 4x tRAS)", []bender.Op{
+		bender.WriteRow{Row: victim, Pattern: dp},
+		bender.DoubleSidedHammer(nb.Near[0], nb.Near[1], budget/8, 4*tras),
+		bender.ReadRow{Row: victim},
+	})
+	// Half-Double trades a much larger far-row budget (which a naive
+	// mitigation would not attribute to the victim) for a small near
+	// budget; it needs far more total activations to flip.
+	hd := bender.HalfDoubleHammer(nb.Far[0], nb.Near[0], 500000, 10000, tras)
+	probe("Half-Double (500K far + 10K near)", append(append([]bender.Op{
+		bender.WriteRow{Row: victim, Pattern: dp}}, hd...),
+		bender.ReadRow{Row: victim}))
+
+	// 2. The victim's resilience after partial preventive refreshes.
+	fmt.Println("double-sided NRH after one preventive refresh at reduced tRAS:")
+	cfg := characterize.DefaultConfig()
+	for _, f := range []float64{1.0, 0.45, 0.27} {
+		m, err := characterize.MeasureRow(pl, victim, f*tras, 1, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2f tRAS: NRH %6d  BER %.4f\n", f, m.NRH, m.BER)
+	}
+}

@@ -1,0 +1,128 @@
+// Characterization deep-dive: sweeps one module across every reduced
+// restoration latency and repeated-restoration count, printing the
+// per-row NRH distribution, BER, the worst-case data pattern mix, and
+// the retention-failure onset — the §5 and §7 studies for a single
+// module.
+//
+// Run with: go run ./examples/characterization [moduleID]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+	"pacram/internal/device"
+	"pacram/internal/stats"
+)
+
+func main() {
+	moduleID := "S6"
+	if len(os.Args) > 1 {
+		moduleID = os.Args[1]
+	}
+	module, err := chips.ByID(moduleID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := chips.DefaultDeviceOptions()
+	platform, err := bender.New(module.NewChip(opt), opt.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.SetTemperature(80)
+	cfg := characterize.DefaultConfig()
+	rows := characterize.SelectRows(platform, 16)
+
+	fmt.Printf("Module %s — %s, %dGb %s, die rev %s (%d chips)\n\n",
+		module.Info.ID, module.Info.Mfr.FullName(), module.Info.DensityGb,
+		module.Info.FormFactor, module.Info.DieRev, module.Info.Chips)
+
+	// NRH and BER across the latency sweep.
+	fmt.Println("tRAS sweep (per-row NRH normalized to nominal):")
+	fmt.Printf("%8s  %10s  %10s  %10s  %12s\n", "factor", "minNRH", "medRatio", "minRatio", "medBERx")
+	nominal := map[int]characterize.RowMeasurement{}
+	for _, victim := range rows {
+		m, err := characterize.MeasureRow(platform, victim, 33.0, 1, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nominal[victim] = m
+	}
+	for _, f := range chips.Factors {
+		var ratios, bers []float64
+		minNRH := 1 << 30
+		for _, victim := range rows {
+			m, err := characterize.MeasureRow(platform, victim, f*33.0, 1, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := nominal[victim]
+			if n.NoBitflips || n.NRH == 0 {
+				continue
+			}
+			ratios = append(ratios, float64(m.NRH)/float64(n.NRH))
+			if n.BER > 0 {
+				bers = append(bers, m.BER/n.BER)
+			}
+			if m.NRH < minNRH {
+				minNRH = m.NRH
+			}
+		}
+		rs, bs := stats.Summarize(ratios), stats.Summarize(bers)
+		fmt.Printf("%8.2f  %10d  %10.3f  %10.3f  %12.2f\n", f, minNRH, rs.Median, rs.Min, bs.Median)
+	}
+
+	// Worst-case data pattern distribution.
+	fmt.Println("\nWorst-case data pattern per row:")
+	wcdp := map[device.DataPattern]int{}
+	for _, victim := range rows {
+		wcdp[nominal[victim].WCDP]++
+	}
+	for _, dp := range device.AllPatterns() {
+		if n := wcdp[dp]; n > 0 {
+			fmt.Printf("  %-4s %d rows\n", dp, n)
+		}
+	}
+
+	// Repeated partial restoration at 0.36 tRAS.
+	fmt.Println("\nRepeated partial restoration at 0.36 tRAS (median normalized NRH):")
+	for _, npr := range []int{1, 10, 100, 1000, 5000, 15000} {
+		var ratios []float64
+		for _, victim := range rows {
+			m, err := characterize.MeasureRow(platform, victim, 0.36*33.0, npr, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := nominal[victim]
+			if n.NoBitflips || n.NRH == 0 {
+				continue
+			}
+			ratios = append(ratios, float64(m.NRH)/float64(n.NRH))
+		}
+		fmt.Printf("  %6d restores: %.3f\n", npr, stats.Summarize(ratios).Median)
+	}
+
+	// Retention onset.
+	fmt.Println("\nRetention failures (fraction of rows) after 10 restores:")
+	fmt.Printf("%8s", "factor")
+	waits := []float64{64, 256, 1024}
+	for _, w := range waits {
+		fmt.Printf("  %7.0fms", w)
+	}
+	fmt.Println()
+	for _, f := range []float64{1.0, 0.45, 0.36, 0.27} {
+		fmt.Printf("%8.2f", f)
+		for _, w := range waits {
+			res, err := characterize.MeasureRetentionModule(platform, moduleID, rows, f, 10, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %9.3f", res.FailFraction())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,91 @@
+// Mitigation tuning: compares the five RowHammer mitigation mechanisms
+// on one workload mix across RowHammer thresholds, then shows what
+// each gains from PaCRAM at its module's best operating point — the
+// §9.2 trade-off analysis in miniature.
+//
+// Run with: go run ./examples/mitigation_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/mitigation"
+	"pacram/internal/sim"
+	"pacram/internal/stats"
+	"pacram/internal/trace"
+)
+
+func main() {
+	mix := trace.Mixes()[2]
+	fmt.Printf("workload mix %s: %s / %s / %s / %s\n\n", mix.Name,
+		mix.Specs[0].Name, mix.Specs[1].Name, mix.Specs[2].Name, mix.Specs[3].Name)
+
+	run := func(mech string, nrh int, cfg *pacram.Config) sim.Result {
+		opt := sim.DefaultOptions(mix.Specs[:]...)
+		opt.MemCfg = sim.SmallMemConfig()
+		opt.Instructions = 25_000
+		opt.Warmup = 2_500
+		opt.Mitigation = mech
+		opt.NRH = nrh
+		opt.PaCRAM = cfg
+		res, err := sim.Run(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	baseline := run("None", 1024, nil)
+
+	// 1. Mechanism scaling with the RowHammer threshold.
+	fmt.Println("normalized weighted speedup (vs no mitigation) & preventive-refresh busy %:")
+	fmt.Printf("%-10s", "NRH")
+	for _, mech := range mitigation.AllNames() {
+		fmt.Printf("  %16s", mech)
+	}
+	fmt.Println()
+	for _, nrh := range []int{1024, 256, 64} {
+		fmt.Printf("%-10d", nrh)
+		for _, mech := range mitigation.AllNames() {
+			res := run(mech, nrh, nil)
+			ws := stats.WeightedSpeedup(res.IPC, baseline.IPC) / float64(len(res.IPC))
+			fmt.Printf("  %6.3f / %5.2f%%", ws, 100*res.PrevRefBusyFraction)
+		}
+		fmt.Println()
+	}
+
+	// 2. PaCRAM at each manufacturer's best operating point (NRH=64).
+	fmt.Println("\nPaCRAM gains at NRH=64 (normalized WS, DRAM energy vs mechanism alone):")
+	points := []struct {
+		name   string
+		module string
+		idx    int
+	}{
+		{"PaCRAM-H (H5 @0.36)", "H5", 4},
+		{"PaCRAM-M (M2 @0.18)", "M2", 6},
+		{"PaCRAM-S (S6 @0.45)", "S6", 3},
+	}
+	for _, mech := range mitigation.AllNames() {
+		noPac := run(mech, 64, nil)
+		fmt.Printf("  %-9s", mech)
+		for _, pt := range points {
+			m, err := chips.ByID(pt.module)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg, err := pacram.Derive(m, pt.idx, 64, sim.SmallMemConfig().Timing)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := run(mech, 64, &cfg)
+			ws := stats.WeightedSpeedup(res.IPC, noPac.IPC) / float64(len(res.IPC))
+			en := res.Energy.Total() / noPac.Energy.Total()
+			fmt.Printf("  %s: %+5.2f%% perf %+5.2f%% energy",
+				pt.name[:8], 100*(ws-1), 100*(en-1))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,105 @@
+// Quickstart: the end-to-end PaCRAM workflow in one page.
+//
+//  1. Characterize a DRAM module's RowHammer threshold under reduced
+//     charge-restoration latency (Algorithm 1 on the modeled chip).
+//  2. Derive a PaCRAM operating point from the characterization data.
+//  3. Simulate a workload with a RowHammer mitigation mechanism, with
+//     and without PaCRAM, and compare performance and energy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/ddr"
+	"pacram/internal/mitigation"
+	"pacram/internal/sim"
+	"pacram/internal/trace"
+)
+
+func main() {
+	// --- 1. Characterize module S6 at 0.45 tRAS -------------------
+	module, err := chips.ByID("S6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := chips.DefaultDeviceOptions()
+	platform, err := bender.New(module.NewChip(opt), opt.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.SetTemperature(80)
+
+	cfg := characterize.DefaultConfig()
+	rows := characterize.SelectRows(platform, 8)
+	fmt.Printf("Characterizing module %s (%s %dGb %s) on %d rows...\n",
+		module.Info.ID, module.Info.Mfr.FullName(), module.Info.DensityGb,
+		module.Info.FormFactor, len(rows))
+
+	lowestNom, lowestRed := 1<<30, 1<<30
+	for _, victim := range rows {
+		nom, err := characterize.MeasureRow(platform, victim, 33.0, 1, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		red, err := characterize.MeasureRow(platform, victim, 0.45*33.0, 1, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nom.NRH < lowestNom {
+			lowestNom = nom.NRH
+		}
+		if red.NRH < lowestRed {
+			lowestRed = red.NRH
+		}
+	}
+	fmt.Printf("  lowest NRH at nominal tRAS: %d\n", lowestNom)
+	fmt.Printf("  lowest NRH at 0.45 tRAS:    %d (%.0f%% of nominal)\n\n",
+		lowestRed, 100*float64(lowestRed)/float64(lowestNom))
+
+	// --- 2. Derive the PaCRAM operating point ---------------------
+	const mitigNRH = 64 // a pessimistic future-chip threshold
+	pcfg, err := pacram.Derive(module, 3 /* 0.45 tRAS */, mitigNRH, ddr.DDR5())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Derived operating point:")
+	fmt.Printf("  %v\n\n", pcfg)
+
+	// --- 3. Simulate RFM with and without PaCRAM ------------------
+	spec, err := trace.SpecByName("429.mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := sim.DefaultOptions(spec)
+	base.MemCfg = sim.SmallMemConfig()
+	base.Instructions = 40_000
+	base.Warmup = 4_000
+	base.Mitigation = mitigation.NameRFM
+	base.NRH = mitigNRH
+
+	noPac, err := sim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withCfg := base
+	withCfg.PaCRAM = &pcfg
+	withPac, err := sim.Run(withCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Simulating %s with RFM at NRH=%d:\n", spec.Name, mitigNRH)
+	fmt.Printf("  %-22s IPC %.3f   prev-ref busy %5.2f%%   energy %.3g J\n",
+		"RFM alone:", noPac.IPC[0], 100*noPac.PrevRefBusyFraction, noPac.Energy.Total())
+	fmt.Printf("  %-22s IPC %.3f   prev-ref busy %5.2f%%   energy %.3g J\n",
+		"RFM + PaCRAM:", withPac.IPC[0], 100*withPac.PrevRefBusyFraction, withPac.Energy.Total())
+	fmt.Printf("  speedup: %.2f%%   partial refreshes: %.0f%%\n",
+		100*(withPac.IPC[0]/noPac.IPC[0]-1), 100*withPac.PartialFraction)
+}

@@ -1,0 +1,183 @@
+package bender
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pacram/internal/device"
+)
+
+// Textual program format, mirroring DRAM Bender's test-program ISA so
+// programs can be stored in files and shared between experiments:
+//
+//	# comment
+//	WR   <row> <pattern>     ; initialize a row (RS RSI CB CBI CS CSI)
+//	ACT  <row> <hold-ns>     ; activate + implicit precharge
+//	RD   <row>               ; read the row back, record bitflips
+//	WAIT <ns>
+//	LOOP <count>             ; loop over the following block
+//	END                      ; close the innermost loop
+//
+// Example (double-sided hammer):
+//
+//	WR 10 CB
+//	LOOP 100000
+//	  ACT 9 33
+//	  ACT 11 33
+//	END
+//	WAIT 64000000
+//	RD 10
+
+// Assemble parses the textual format into an executable program.
+func Assemble(r io.Reader) ([]Op, error) {
+	var stack [][]Op
+	cur := []Op{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	fail := func(format string, args ...interface{}) ([]Op, error) {
+		return nil, fmt.Errorf("bender: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	var loopCounts []int
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		op := strings.ToUpper(f[0])
+		switch op {
+		case "WR":
+			if len(f) != 3 {
+				return fail("WR wants <row> <pattern>")
+			}
+			row, err := strconv.Atoi(f[1])
+			if err != nil {
+				return fail("bad row %q", f[1])
+			}
+			dp, err := parsePattern(f[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			cur = append(cur, WriteRow{Row: row, Pattern: dp})
+		case "ACT":
+			if len(f) != 3 {
+				return fail("ACT wants <row> <hold-ns>")
+			}
+			row, err := strconv.Atoi(f[1])
+			if err != nil {
+				return fail("bad row %q", f[1])
+			}
+			hold, err := strconv.ParseFloat(f[2], 64)
+			if err != nil || hold <= 0 {
+				return fail("bad hold time %q", f[2])
+			}
+			cur = append(cur, Act{Row: row, HoldNs: hold})
+		case "RD":
+			if len(f) != 2 {
+				return fail("RD wants <row>")
+			}
+			row, err := strconv.Atoi(f[1])
+			if err != nil {
+				return fail("bad row %q", f[1])
+			}
+			cur = append(cur, ReadRow{Row: row})
+		case "WAIT":
+			if len(f) != 2 {
+				return fail("WAIT wants <ns>")
+			}
+			ns, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || ns < 0 {
+				return fail("bad wait %q", f[1])
+			}
+			cur = append(cur, Wait{Ns: ns})
+		case "LOOP":
+			if len(f) != 2 {
+				return fail("LOOP wants <count>")
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 0 {
+				return fail("bad loop count %q", f[1])
+			}
+			stack = append(stack, cur)
+			loopCounts = append(loopCounts, n)
+			cur = []Op{}
+		case "END":
+			if len(stack) == 0 {
+				return fail("END without LOOP")
+			}
+			body := cur
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := loopCounts[len(loopCounts)-1]
+			loopCounts = loopCounts[:len(loopCounts)-1]
+			cur = append(cur, Loop{Count: n, Body: body})
+		default:
+			return fail("unknown op %q", op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("bender: %d unclosed LOOP(s)", len(stack))
+	}
+	if err := Validate(cur); err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+func parsePattern(s string) (device.DataPattern, error) {
+	for _, dp := range device.AllPatterns() {
+		if strings.EqualFold(dp.String(), s) {
+			return dp, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown data pattern %q", s)
+}
+
+// Disassemble renders a program back to the textual format.
+func Disassemble(w io.Writer, prog []Op) error {
+	return disasm(w, prog, 0)
+}
+
+func disasm(w io.Writer, prog []Op, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	for _, op := range prog {
+		var err error
+		switch o := op.(type) {
+		case WriteRow:
+			_, err = fmt.Fprintf(w, "%sWR %d %s\n", indent, o.Row, o.Pattern)
+		case Act:
+			_, err = fmt.Fprintf(w, "%sACT %d %g\n", indent, o.Row, o.HoldNs)
+		case ReadRow:
+			_, err = fmt.Fprintf(w, "%sRD %d\n", indent, o.Row)
+		case Wait:
+			_, err = fmt.Fprintf(w, "%sWAIT %g\n", indent, o.Ns)
+		case WaitUntil:
+			// WaitUntil is runtime-computed; serialize as its window.
+			_, err = fmt.Fprintf(w, "%sWAIT %g\n", indent, o.Ns)
+		case Loop:
+			if _, err = fmt.Fprintf(w, "%sLOOP %d\n", indent, o.Count); err != nil {
+				return err
+			}
+			if err = disasm(w, o.Body, depth+1); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%sEND\n", indent)
+		default:
+			err = fmt.Errorf("bender: cannot disassemble %T", op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

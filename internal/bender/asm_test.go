@@ -1,0 +1,156 @@
+package bender
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pacram/internal/chips"
+	"pacram/internal/device"
+)
+
+const hammerSrc = `
+# double-sided hammer test
+WR 9 CB
+WR 11 CB
+WR 10 CB
+LOOP 100000
+  ACT 9 33
+  ACT 11 33
+END
+WAIT 64000000
+RD 10
+`
+
+func TestAssembleHammerProgram(t *testing.T) {
+	prog, err := Assemble(strings.NewReader(hammerSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 6 {
+		t.Fatalf("assembled %d ops, want 6", len(prog))
+	}
+	loop, ok := prog[3].(Loop)
+	if !ok || loop.Count != 100000 || len(loop.Body) != 2 {
+		t.Fatalf("loop malformed: %+v", prog[3])
+	}
+	if wr, ok := prog[0].(WriteRow); !ok || wr.Pattern != device.PatCheckerboard {
+		t.Fatalf("WR malformed: %+v", prog[0])
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	m, _ := chips.ByID("S6")
+	opt := chips.DefaultDeviceOptions()
+	pl, err := New(m.NewChip(opt), opt.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a physical victim through its logical neighbours.
+	victim := 20
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := strings.NewReplacer(
+		"ACT 9", "ACT "+itoa(nb.Near[0]),
+		"ACT 11", "ACT "+itoa(nb.Near[1]),
+		"WR 9", "WR "+itoa(nb.Near[0]),
+		"WR 11", "WR "+itoa(nb.Near[1]),
+		"WR 10", "WR "+itoa(victim),
+		"RD 10", "RD "+itoa(victim),
+	).Replace(hammerSrc)
+	prog, err := Assemble(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] == 0 {
+		t.Fatalf("assembled hammer produced %v bitflips", res)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestAssembleRoundTrip(t *testing.T) {
+	prog, err := Assemble(strings.NewReader(hammerSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Disassemble(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Assemble(&buf)
+	if err != nil {
+		t.Fatalf("disassembled text did not re-assemble: %v\n%s", err, buf.String())
+	}
+	var b1, b2 bytes.Buffer
+	if err := Disassemble(&b1, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := Disassemble(&b2, again); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestAssembleNestedLoops(t *testing.T) {
+	src := `
+LOOP 3
+  LOOP 2
+    ACT 5 33
+  END
+  ACT 6 33
+END
+`
+	prog, err := Assemble(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog[0].(Loop)
+	if outer.Count != 3 || len(outer.Body) != 2 {
+		t.Fatalf("outer loop wrong: %+v", outer)
+	}
+	inner := outer.Body[0].(Loop)
+	if inner.Count != 2 || len(inner.Body) != 1 {
+		t.Fatalf("inner loop wrong: %+v", inner)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"BOGUS 1\n",
+		"WR 1\n",
+		"WR 1 XX\n",
+		"ACT 1\n",
+		"ACT x 33\n",
+		"ACT 1 -5\n",
+		"RD\n",
+		"WAIT -1\n",
+		"LOOP x\n",
+		"END\n",
+		"LOOP 2\nACT 1 33\n", // unclosed
+	} {
+		if _, err := Assemble(strings.NewReader(src)); err == nil {
+			t.Fatalf("bad program accepted: %q", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndCase(t *testing.T) {
+	src := "wr 1 cb # init\nact 2 33 # hammer\nrd 1\n"
+	prog, err := Assemble(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Fatalf("got %d ops", len(prog))
+	}
+}

@@ -1,0 +1,324 @@
+package bender
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacram/internal/chips"
+	"pacram/internal/device"
+)
+
+func testPlatform(t *testing.T, moduleID string) *Platform {
+	t.Helper()
+	m, err := chips.ByID(moduleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := chips.DefaultDeviceOptions()
+	opt.Rows = 128
+	pl, err := New(m.NewChip(opt), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestScrambleBijective(t *testing.T) {
+	s, err := NewScramble(1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 1024)
+	for l := 0; l < 1024; l++ {
+		p := s.Physical(l)
+		if p < 0 || p >= 1024 || seen[p] {
+			t.Fatalf("Physical(%d)=%d not a bijection", l, p)
+		}
+		seen[p] = true
+		if s.Logical(p) != l {
+			t.Fatalf("Logical(Physical(%d)) = %d", l, s.Logical(p))
+		}
+	}
+}
+
+func TestScramblePerturbsAdjacency(t *testing.T) {
+	s, _ := NewScramble(1024, 7)
+	adjacentKept := 0
+	for l := 0; l < 1023; l++ {
+		d := s.Physical(l) - s.Physical(l+1)
+		if d == 1 || d == -1 {
+			adjacentKept++
+		}
+	}
+	if adjacentKept > 512 {
+		t.Fatalf("scramble keeps %d/1023 logical adjacencies physical", adjacentKept)
+	}
+}
+
+func TestScrambleRoundTripProperty(t *testing.T) {
+	s, _ := NewScramble(4096, 99)
+	f := func(r uint16) bool {
+		l := int(r) % 4096
+		return s.Logical(s.Physical(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleRejectsNonPow2(t *testing.T) {
+	if _, err := NewScramble(1000, 1); err == nil {
+		t.Fatal("non-power-of-two rows must be rejected")
+	}
+}
+
+func TestTempControllerPrecision(t *testing.T) {
+	tc := NewTempController(3)
+	for _, target := range []float64{50, 65, 80} {
+		got := tc.Set(target)
+		if got < target-tc.Precision || got > target+tc.Precision {
+			t.Fatalf("settled at %g for target %g (precision %g)", got, target, tc.Precision)
+		}
+		for i := 0; i < 100; i++ {
+			s := tc.Sample()
+			if s < target-2*tc.Precision || s > target+2*tc.Precision {
+				t.Fatalf("sample %g strayed from target %g", s, target)
+			}
+		}
+	}
+	if tc.Target() != 80 {
+		t.Fatal("target not recorded")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := [][]Op{
+		{Act{Row: 1, HoldNs: 0}},
+		{Wait{Ns: -1}},
+		{Loop{Count: -1}},
+		{Loop{Count: 2, Body: []Op{Act{Row: 1, HoldNs: -3}}}},
+		{WaitUntil{Ns: -5}},
+	}
+	for i, prog := range bad {
+		if err := Validate(prog); err == nil {
+			t.Fatalf("bad program %d accepted", i)
+		}
+	}
+	if err := Validate([]Op{WriteRow{Row: 1}, ReadRow{Row: 1}}); err != nil {
+		t.Fatalf("good program rejected: %v", err)
+	}
+}
+
+func TestRunSimpleProgram(t *testing.T) {
+	pl := testPlatform(t, "H5")
+	res, err := pl.Run([]Op{
+		WriteRow{Row: 10, Pattern: device.PatCheckerboard},
+		Wait{Ns: 1e6},
+		ReadRow{Row: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 0 {
+		t.Fatalf("fresh row read back %v", res)
+	}
+}
+
+func TestHammerProgramFlipsVictim(t *testing.T) {
+	pl := testPlatform(t, "S6")
+	victim := 20
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := pl.Scramble().Physical(victim)
+	dp := pl.Chip().WorstPattern(phys)
+	prog := []Op{
+		WriteRow{Row: victim, Pattern: dp},
+		DoubleSidedHammer(nb.Near[0], nb.Near[1], 100000, pl.Timing().TRAS),
+		ReadRow{Row: victim},
+	}
+	res, err := pl.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] == 0 {
+		t.Fatal("100K double-sided hammers flipped nothing on an S module")
+	}
+}
+
+func TestLoopCollapseMatchesUnrolled(t *testing.T) {
+	// The closed-form loop collapse must give the same result as
+	// physically unrolling the loop.
+	run := func(unroll bool) int {
+		pl := testPlatform(t, "S6")
+		victim := 20
+		nb, _ := pl.FindNeighbors(victim)
+		phys := pl.Scramble().Physical(victim)
+		dp := pl.Chip().WorstPattern(phys)
+		const hc = 400
+		var hammer []Op
+		if unroll {
+			for i := 0; i < hc; i++ {
+				hammer = append(hammer,
+					Act{Row: nb.Near[0], HoldNs: pl.Timing().TRAS},
+					Act{Row: nb.Near[1], HoldNs: pl.Timing().TRAS})
+			}
+		} else {
+			hammer = []Op{DoubleSidedHammer(nb.Near[0], nb.Near[1], hc, pl.Timing().TRAS)}
+		}
+		prog := append([]Op{WriteRow{Row: victim, Pattern: dp}}, hammer...)
+		prog = append(prog, ReadRow{Row: victim})
+		res, err := pl.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("collapsed loop gave %d flips, unrolled gave %d", a, b)
+	}
+}
+
+func TestPartialRestorationKernel(t *testing.T) {
+	pl := testPlatform(t, "S6")
+	victim := 24
+	phys := pl.Scramble().Physical(victim)
+	dp := pl.Chip().WorstPattern(phys)
+	// Many partial restores at very low tRAS must produce retention
+	// bitflips on an S module within tREFW (Takeaway 5 failure mode).
+	mark := pl.Now()
+	prog := []Op{
+		WriteRow{Row: victim, Pattern: dp},
+		PartialRestoration(victim, 5000, 0.27*33),
+		WaitUntil{MarkNs: mark, Ns: pl.Timing().TREFW},
+		ReadRow{Row: victim},
+	}
+	res, err := pl.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] == 0 {
+		t.Fatal("5000 partial restores at 0.27 tRAS caused no retention flips on S6")
+	}
+}
+
+func TestWaitUntilAdvancesToDeadline(t *testing.T) {
+	pl := testPlatform(t, "H5")
+	mark := pl.Now()
+	if _, err := pl.Run([]Op{
+		Wait{Ns: 1000},
+		WaitUntil{MarkNs: mark, Ns: 5000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Now() - mark; got != 5000 {
+		t.Fatalf("clock advanced %g ns, want 5000", got)
+	}
+	// Already-past deadlines are no-ops.
+	if _, err := pl.Run([]Op{WaitUntil{MarkNs: mark, Ns: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Now() - mark; got != 5000 {
+		t.Fatalf("WaitUntil in the past moved the clock to %g", got)
+	}
+}
+
+func TestFindNeighborsPhysicallyAdjacent(t *testing.T) {
+	pl := testPlatform(t, "H5")
+	scr := pl.Scramble()
+	for victim := 0; victim < 64; victim++ {
+		nb, err := pl.FindNeighbors(victim)
+		if err != nil {
+			continue // edge rows legitimately fail
+		}
+		phys := scr.Physical(victim)
+		if scr.Physical(nb.Near[0]) != phys-1 || scr.Physical(nb.Near[1]) != phys+1 {
+			t.Fatalf("victim %d: near neighbours not physically adjacent", victim)
+		}
+		if scr.Physical(nb.Far[0]) != phys-2 || scr.Physical(nb.Far[1]) != phys+2 {
+			t.Fatalf("victim %d: far neighbours not at distance 2", victim)
+		}
+	}
+}
+
+func TestFindNeighborsEdgeError(t *testing.T) {
+	pl := testPlatform(t, "H5")
+	scr := pl.Scramble()
+	edge := scr.Logical(0)
+	if _, err := pl.FindNeighbors(edge); err == nil {
+		t.Fatal("edge victim must be rejected")
+	}
+}
+
+func TestVerifyNeighborsConfirmsMapping(t *testing.T) {
+	pl := testPlatform(t, "S6")
+	victim := 30
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := pl.Scramble().Physical(victim)
+	dp := pl.Chip().WorstPattern(phys)
+	ok, err := pl.VerifyNeighbors(victim, nb, 100000, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("hammer-based verification rejected the reverse-engineered mapping")
+	}
+}
+
+func TestSetTemperatureReachesChip(t *testing.T) {
+	pl := testPlatform(t, "H5")
+	pl.SetTemperature(50)
+	got := pl.Chip().Temperature()
+	if got < 49.5 || got > 50.5 {
+		t.Fatalf("chip temperature %g after commanding 50C", got)
+	}
+}
+
+func TestHalfDoubleKernelStructure(t *testing.T) {
+	ops := HalfDoubleHammer(5, 6, 1000, 10, 33)
+	if err := Validate(ops); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("Half-Double kernel has %d phases, want 2", len(ops))
+	}
+}
+
+func BenchmarkHammerProgram100K(b *testing.B) {
+	m, _ := chips.ByID("S6")
+	opt := chips.DefaultDeviceOptions()
+	opt.Rows = 128
+	pl, _ := New(m.NewChip(opt), 42)
+	victim := 20
+	nb, _ := pl.FindNeighbors(victim)
+	dp := device.PatCheckerboard
+	prog := []Op{
+		WriteRow{Row: victim, Pattern: dp},
+		DoubleSidedHammer(nb.Near[0], nb.Near[1], 100000, 33),
+		ReadRow{Row: victim},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTemperatureStabilityCheck(t *testing.T) {
+	// Footnote 2 of the paper: over a long round-robin hammering run,
+	// the heater rig holds the set point within 0.5C.
+	pl := testPlatform(t, "H5")
+	pl.SetTemperature(80)
+	dev := pl.TemperatureStabilityCheck(0.1 /* hours */, 5)
+	if dev > pl.Temp().Precision+pl.Temp().Precision/2 {
+		t.Fatalf("temperature deviated %.2fC from the set point", dev)
+	}
+	if dev == 0 {
+		t.Fatal("thermocouple noise missing; the check is vacuous")
+	}
+}

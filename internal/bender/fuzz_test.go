@@ -1,0 +1,31 @@
+package bender
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that the program assembler never panics and that
+// anything it accepts survives a disassemble/assemble round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add(hammerSrc)
+	f.Add("WR 1 CB\nRD 1\n")
+	f.Add("LOOP 3\nACT 1 33\nEND\n")
+	f.Add("LOOP 0\nEND\n")
+	f.Add("# only a comment\n")
+	f.Add("ACT 1 0.5\nWAIT 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Disassemble(&buf, prog); err != nil {
+			t.Fatalf("accepted program failed to disassemble: %v", err)
+		}
+		if _, err := Assemble(&buf); err != nil {
+			t.Fatalf("disassembled text did not re-assemble: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// Package bender models the paper's FPGA-based DRAM testing
+// infrastructure (DRAM Bender on a Xilinx Alveo U200, §4.1): a host
+// composes test programs of timed DRAM commands and the platform
+// executes them against a device-under-test, returning observed
+// bitflips. Periodic refresh and on-die TRR are disabled exactly as in
+// the paper's methodology; the heater-pad/PID temperature rig is
+// modeled by TempController.
+//
+// Programs are executed in closed form where possible: a loop whose
+// body only activates rows collapses into per-row activation counts
+// handed to the device model in one step, so hammering 100K times
+// costs O(1). This preserves semantics because the device model is
+// itself closed-form in activation count.
+package bender
+
+import (
+	"fmt"
+
+	"pacram/internal/device"
+)
+
+// Op is one step of a test program.
+type Op interface{ op() }
+
+// Act activates logical row Row, holds it open for HoldNs, then
+// precharges. The cycle cost is HoldNs + tRP.
+type Act struct {
+	Row    int
+	HoldNs float64
+}
+
+// WriteRow initializes logical row Row with the given data pattern
+// (fully restoring its charge).
+type WriteRow struct {
+	Row     int
+	Pattern device.DataPattern
+}
+
+// ReadRow reads logical row Row back and appends its bitflip count to
+// the program results.
+type ReadRow struct {
+	Row int
+}
+
+// Wait advances wall-clock time by Ns without touching the device.
+type Wait struct {
+	Ns float64
+}
+
+// WaitUntil advances wall-clock time until the platform clock reaches
+// MarkNs + Ns (no-op if already past). Alg. 1 uses it to keep the
+// victim untouched for exactly one tREFW after initialization.
+type WaitUntil struct {
+	MarkNs float64
+	Ns     float64
+}
+
+// Loop repeats Body Count times.
+type Loop struct {
+	Count int
+	Body  []Op
+}
+
+func (Act) op()       {}
+func (WriteRow) op()  {}
+func (ReadRow) op()   {}
+func (Wait) op()      {}
+func (WaitUntil) op() {}
+func (Loop) op()      {}
+
+// Validate walks a program and rejects malformed ops before execution.
+func Validate(prog []Op) error {
+	for i, op := range prog {
+		switch o := op.(type) {
+		case Act:
+			if o.HoldNs <= 0 {
+				return fmt.Errorf("bender: op %d: ACT hold time must be positive", i)
+			}
+		case Wait:
+			if o.Ns < 0 {
+				return fmt.Errorf("bender: op %d: negative wait", i)
+			}
+		case WaitUntil:
+			if o.Ns < 0 {
+				return fmt.Errorf("bender: op %d: negative wait-until window", i)
+			}
+		case Loop:
+			if o.Count < 0 {
+				return fmt.Errorf("bender: op %d: negative loop count", i)
+			}
+			if err := Validate(o.Body); err != nil {
+				return err
+			}
+		case WriteRow, ReadRow:
+		default:
+			return fmt.Errorf("bender: op %d: unknown op %T", i, op)
+		}
+	}
+	return nil
+}
+
+// DoubleSidedHammer builds the alternating two-aggressor hammer kernel
+// of Alg. 1 (hc activations per aggressor at maximum rate: each ACT
+// held for openNs).
+func DoubleSidedHammer(aggr1, aggr2, hc int, openNs float64) Op {
+	return Loop{Count: hc, Body: []Op{
+		Act{Row: aggr1, HoldNs: openNs},
+		Act{Row: aggr2, HoldNs: openNs},
+	}}
+}
+
+// PartialRestoration builds the partial_restoration kernel of Alg. 1:
+// npr consecutive ACT(trasRedNs)+PRE cycles on the victim row.
+func PartialRestoration(victim, npr int, trasRedNs float64) Op {
+	return Loop{Count: npr, Body: []Op{
+		Act{Row: victim, HoldNs: trasRedNs},
+	}}
+}
+
+// HalfDoubleHammer builds the Half-Double access pattern: many
+// activations of the far aggressor (distance 2) followed by a few of
+// the near aggressor (distance 1), as in Kogler et al.
+func HalfDoubleHammer(far, near, farHC, nearHC int, openNs float64) []Op {
+	return []Op{
+		Loop{Count: farHC, Body: []Op{Act{Row: far, HoldNs: openNs}}},
+		Loop{Count: nearHC, Body: []Op{Act{Row: near, HoldNs: openNs}}},
+	}
+}

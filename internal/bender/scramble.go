@@ -1,0 +1,72 @@
+package bender
+
+import (
+	"fmt"
+
+	"pacram/internal/xrand"
+)
+
+// Scramble models a DRAM chip's internal row-address mapping: the
+// logical row addresses the host uses are remapped on-die, so logically
+// adjacent rows are generally not physically adjacent (§4.3, "Finding
+// physically adjacent rows"). The mapping is a bijection on [0, rows):
+// multiplication by a module-specific odd constant followed by an XOR
+// mask, which (like the vendor schemes prior work reverse-engineered)
+// destroys logical adjacency while remaining cheaply invertible once
+// recovered.
+type Scramble struct {
+	rows uint64
+	mul  uint64 // odd multiplier
+	inv  uint64 // 2-adic inverse of mul
+	mask uint64
+}
+
+// NewScramble derives a module-specific scramble from seed. rows must
+// be a power of two.
+func NewScramble(rows int, seed uint64) (*Scramble, error) {
+	if rows <= 0 || rows&(rows-1) != 0 {
+		return nil, fmt.Errorf("bender: rows must be a positive power of two, got %d", rows)
+	}
+	rng := xrand.Derive(seed, 0x5C)
+	s := &Scramble{rows: uint64(rows)}
+	for {
+		s.mul = rng.Uint64() | 1
+		m := s.mul & (s.rows - 1)
+		// Avoid degenerate multipliers that preserve adjacency.
+		if m != 1 && m != s.rows-1 {
+			break
+		}
+	}
+	s.inv = inv2adic(s.mul)
+	s.mask = rng.Uint64() & (s.rows - 1)
+	return s, nil
+}
+
+// inv2adic computes the multiplicative inverse of odd a modulo 2^64 by
+// Newton iteration (doubles correct bits each step).
+func inv2adic(a uint64) uint64 {
+	x := a // correct to 3 bits
+	for i := 0; i < 5; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}
+
+// Physical maps a logical row to its physical location.
+func (s *Scramble) Physical(logical int) int {
+	if logical < 0 || uint64(logical) >= s.rows {
+		panic(fmt.Sprintf("bender: logical row %d out of range", logical))
+	}
+	return int(((uint64(logical) * s.mul) ^ s.mask) & (s.rows - 1))
+}
+
+// Logical is the inverse of Physical.
+func (s *Scramble) Logical(physical int) int {
+	if physical < 0 || uint64(physical) >= s.rows {
+		panic(fmt.Sprintf("bender: physical row %d out of range", physical))
+	}
+	return int(((uint64(physical) ^ s.mask) * s.inv) & (s.rows - 1))
+}
+
+// Rows returns the size of the mapped address space.
+func (s *Scramble) Rows() int { return int(s.rows) }

@@ -1,0 +1,42 @@
+package bender
+
+import "pacram/internal/xrand"
+
+// TempController models the MaxWell FT200 PID controller driving the
+// heater pads in the paper's rig: it reaches any commanded set point
+// and holds it within +-0.5C (the paper's §4.1 verified precision).
+type TempController struct {
+	target  float64
+	current float64
+	rng     *xrand.Rand
+	// Precision is the worst-case steady-state error in Celsius.
+	Precision float64
+}
+
+// NewTempController returns a controller idling at ambient (room)
+// temperature.
+func NewTempController(seed uint64) *TempController {
+	return &TempController{
+		target:    25,
+		current:   25,
+		rng:       xrand.Derive(seed, 0x7E),
+		Precision: 0.5,
+	}
+}
+
+// Set commands a new set point and settles on it. The returned value
+// is the settled chip temperature, within Precision of the target.
+func (tc *TempController) Set(target float64) float64 {
+	tc.target = target
+	tc.current = target + tc.rng.TruncNormal(0, tc.Precision/3, -tc.Precision, tc.Precision)
+	return tc.current
+}
+
+// Sample reads the thermocouple: the settled temperature plus
+// measurement noise bounded by Precision.
+func (tc *TempController) Sample() float64 {
+	return tc.current + tc.rng.TruncNormal(0, tc.Precision/4, -tc.Precision/2, tc.Precision/2)
+}
+
+// Target returns the commanded set point.
+func (tc *TempController) Target() float64 { return tc.target }

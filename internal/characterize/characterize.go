@@ -1,0 +1,256 @@
+// Package characterize implements the paper's testing methodology
+// (§4.3, Algorithm 1) against the bender platform: worst-case data
+// pattern search, BER measurement at 100K hammers, a retention
+// pre-check, and the bisection search for the RowHammer threshold
+// (NRH), swept over charge-restoration latency, consecutive partial
+// restorations, and temperature. Variants implement the Half-Double
+// access pattern study (§6) and the data-retention study (§7).
+package characterize
+
+import (
+	"fmt"
+
+	"pacram/internal/bender"
+	"pacram/internal/chips"
+	"pacram/internal/device"
+)
+
+// Config mirrors Algorithm 1's parameters.
+type Config struct {
+	// HCHigh and HCStep are the bisection search's upper bound and
+	// resolution (the paper uses 100K and 1K).
+	HCHigh int
+	HCStep int
+	// WCDPHammers is the hammer count used to find the worst-case data
+	// pattern and to measure BER (100K in the paper).
+	WCDPHammers int
+	// Iterations repeats each measurement, keeping the lowest NRH and
+	// highest BER (the paper uses 5; the modeled device is
+	// deterministic, so 1 is the default).
+	Iterations int
+	// OpenNs is how long each aggressor activation stays open; the
+	// paper hammers at the maximum rate with nominal tRAS.
+	OpenNs float64
+	// Patterns are the data patterns to search over.
+	Patterns []device.DataPattern
+}
+
+// DefaultConfig returns Algorithm 1's parameters.
+func DefaultConfig() Config {
+	return Config{
+		HCHigh:      100000,
+		HCStep:      1000,
+		WCDPHammers: 100000,
+		Iterations:  1,
+		OpenNs:      33.0,
+		Patterns:    device.AllPatterns(),
+	}
+}
+
+// RowMeasurement is the outcome of Algorithm 1 for one victim row.
+type RowMeasurement struct {
+	LogicalRow int
+	PhysRow    int
+	WCDP       device.DataPattern
+	// NRH is the measured RowHammer threshold: 0 means retention
+	// bitflips occurred with no hammering; NoBitflips means not even
+	// HCHigh hammers flipped anything (NRH is then HCHigh).
+	NRH        int
+	BER        float64 // bitflip fraction at WCDPHammers hammers
+	NoBitflips bool
+}
+
+// performRH is Alg. 1's perform_RH: initialize rows, partially restore
+// the victim npr times at trasRedNs, double-sided hammer hc times,
+// wait out the refresh window, and count bitflips.
+func performRH(pl *bender.Platform, victim int, nb bender.Neighbors,
+	dp device.DataPattern, hc int, trasRedNs float64, npr int, cfg Config) (int, error) {
+	mark := pl.Now()
+	prog := []bender.Op{
+		bender.WriteRow{Row: nb.Near[0], Pattern: dp},
+		bender.WriteRow{Row: nb.Near[1], Pattern: dp},
+		bender.WriteRow{Row: victim, Pattern: dp},
+		bender.PartialRestoration(victim, npr, trasRedNs),
+	}
+	if hc > 0 {
+		prog = append(prog, bender.DoubleSidedHammer(nb.Near[0], nb.Near[1], hc, cfg.OpenNs))
+	}
+	prog = append(prog,
+		bender.WaitUntil{MarkNs: mark, Ns: pl.Timing().TREFW},
+		bender.ReadRow{Row: victim},
+	)
+	res, err := pl.Run(prog)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// MeasureRow runs the full Algorithm 1 body for one victim row at the
+// given reduced restoration latency and consecutive-restoration count.
+func MeasureRow(pl *bender.Platform, victim int, trasRedNs float64, npr int, cfg Config) (RowMeasurement, error) {
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		return RowMeasurement{}, err
+	}
+	m := RowMeasurement{
+		LogicalRow: victim,
+		PhysRow:    pl.Scramble().Physical(victim),
+	}
+
+	iters := cfg.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	bestNRH := -1
+	for it := 0; it < iters; it++ {
+		// Find the worst-case data pattern (lines 16-19).
+		wcdp := cfg.Patterns[0]
+		wcdpFlips := -1
+		for _, dp := range cfg.Patterns {
+			flips, err := performRH(pl, victim, nb, dp, cfg.WCDPHammers, trasRedNs, npr, cfg)
+			if err != nil {
+				return m, err
+			}
+			if flips > wcdpFlips {
+				wcdp, wcdpFlips = dp, flips
+			}
+		}
+
+		// Measure BER with WCDPHammers hammers (line 20).
+		berFlips, err := performRH(pl, victim, nb, wcdp, cfg.WCDPHammers, trasRedNs, npr, cfg)
+		if err != nil {
+			return m, err
+		}
+		ber := float64(berFlips) / float64(pl.Chip().Params().CellsPerRow)
+
+		// Retention pre-check without hammering (lines 21-24).
+		retFlips, err := performRH(pl, victim, nb, wcdp, 0, trasRedNs, npr, cfg)
+		if err != nil {
+			return m, err
+		}
+
+		var nrh int
+		var noBitflips bool
+		switch {
+		case retFlips > 0:
+			nrh = 0
+		case berFlips == 0:
+			nrh = cfg.HCHigh
+			noBitflips = true
+		default:
+			// Bisection search (lines 25-32).
+			hcHigh, hcLow := cfg.HCHigh, 0
+			nrh = cfg.HCHigh
+			for hcHigh-hcLow > cfg.HCStep {
+				hcCur := (hcHigh + hcLow) / 2
+				flips, err := performRH(pl, victim, nb, wcdp, hcCur, trasRedNs, npr, cfg)
+				if err != nil {
+					return m, err
+				}
+				if flips == 0 {
+					hcLow = hcCur
+				} else {
+					hcHigh = hcCur
+					nrh = hcCur
+				}
+			}
+		}
+
+		// Keep the lowest NRH and highest BER across iterations.
+		if bestNRH == -1 || nrh < bestNRH {
+			bestNRH = nrh
+			m.WCDP = wcdp
+			m.NoBitflips = noBitflips
+		}
+		if ber > m.BER {
+			m.BER = ber
+		}
+	}
+	m.NRH = bestNRH
+	return m, nil
+}
+
+// ModuleResult is one module's sweep point: the rows of a module
+// measured at one (factor, npr, temperature) combination.
+type ModuleResult struct {
+	ModuleID string
+	Mfr      chips.Mfr
+	Factor   float64 // tRAS(Red)/tRAS(Nom)
+	NPR      int
+	TempC    float64
+	Rows     []RowMeasurement
+}
+
+// LowestNRH returns the lowest measured NRH across rows (the Table 3
+// metric), and whether any row had bitflips at all.
+func (r ModuleResult) LowestNRH() (nrh int, any bool) {
+	low := -1
+	for _, row := range r.Rows {
+		if row.NoBitflips {
+			continue
+		}
+		any = true
+		if low == -1 || row.NRH < low {
+			low = row.NRH
+		}
+	}
+	if low == -1 {
+		return 0, false
+	}
+	return low, true
+}
+
+// SelectRows returns up to n testable victim rows for the platform,
+// drawn in equal thirds from the beginning, middle and end of the bank
+// (the paper tests 1K rows from each region).
+func SelectRows(pl *bender.Platform, n int) []int {
+	rows := pl.Chip().Rows()
+	regions := [3]int{0, rows / 2, rows - rows/3}
+	perRegion := (n + 2) / 3
+	var out []int
+	seen := map[int]bool{}
+	for _, start := range regions {
+		count := 0
+		for r := start; r < rows && count < perRegion && len(out) < n; r++ {
+			if seen[r] {
+				continue
+			}
+			if _, err := pl.FindNeighbors(r); err != nil {
+				continue
+			}
+			seen[r] = true
+			out = append(out, r)
+			count++
+		}
+	}
+	return out
+}
+
+// MeasureModule runs Algorithm 1 on sampleRows rows of the module at
+// one sweep point.
+func MeasureModule(mod *chips.ModuleData, opt chips.DeviceOptions,
+	trasFactor float64, npr int, tempC float64, sampleRows int, cfg Config) (ModuleResult, error) {
+	chip := mod.NewChip(opt)
+	pl, err := bender.New(chip, opt.Seed)
+	if err != nil {
+		return ModuleResult{}, err
+	}
+	pl.SetTemperature(tempC)
+	res := ModuleResult{
+		ModuleID: mod.Info.ID,
+		Mfr:      mod.Info.Mfr,
+		Factor:   trasFactor,
+		NPR:      npr,
+		TempC:    tempC,
+	}
+	trasRed := trasFactor * pl.Timing().TRAS
+	for _, victim := range SelectRows(pl, sampleRows) {
+		rm, err := MeasureRow(pl, victim, trasRed, npr, cfg)
+		if err != nil {
+			return res, fmt.Errorf("characterize: module %s row %d: %w", mod.Info.ID, victim, err)
+		}
+		res.Rows = append(res.Rows, rm)
+	}
+	return res, nil
+}

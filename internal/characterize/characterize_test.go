@@ -1,0 +1,308 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+
+	"pacram/internal/bender"
+	"pacram/internal/chips"
+)
+
+func platformFor(t testing.TB, id string, rows int) *bender.Platform {
+	t.Helper()
+	m, err := chips.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := chips.DefaultDeviceOptions()
+	if rows > 0 {
+		opt.Rows = rows
+	}
+	pl, err := bender.New(m.NewChip(opt), opt.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.SetTemperature(80)
+	return pl
+}
+
+func TestSelectRowsCoversRegions(t *testing.T) {
+	pl := platformFor(t, "H5", 128)
+	rows := SelectRows(pl, 30)
+	if len(rows) != 30 {
+		t.Fatalf("selected %d rows, want 30", len(rows))
+	}
+	seen := map[int]bool{}
+	var lo, mid, hi int
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatalf("row %d selected twice", r)
+		}
+		seen[r] = true
+		switch {
+		case r < 43:
+			lo++
+		case r < 85:
+			mid++
+		default:
+			hi++
+		}
+	}
+	if lo == 0 || mid == 0 || hi == 0 {
+		t.Fatalf("row regions not all covered: %d/%d/%d", lo, mid, hi)
+	}
+}
+
+func TestMeasureRowNominal(t *testing.T) {
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 4)
+	cfg := DefaultConfig()
+	for _, victim := range rows {
+		m, err := MeasureRow(pl, victim, pl.Timing().TRAS, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NoBitflips {
+			t.Fatalf("row %d: no bitflips on an S module at 100K hammers", victim)
+		}
+		if m.NRH <= 0 || m.NRH >= cfg.HCHigh {
+			t.Fatalf("row %d: implausible NRH %d", victim, m.NRH)
+		}
+		if m.BER <= 0 {
+			t.Fatalf("row %d: zero BER at 100K hammers", victim)
+		}
+		// The bisection result must bracket the device's analytic NRH
+		// within the search resolution.
+		truth := pl.Chip().WeakestNRH(m.PhysRow, pl.Timing().TRAS, 1, 64)
+		if m.NRH < truth-cfg.HCStep || m.NRH > truth+2*cfg.HCStep {
+			t.Fatalf("row %d: measured NRH %d vs analytic %d (step %d)",
+				victim, m.NRH, truth, cfg.HCStep)
+		}
+	}
+}
+
+func TestMeasureRowFindsWCDP(t *testing.T) {
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 6)
+	cfg := DefaultConfig()
+	for _, victim := range rows {
+		m, err := MeasureRow(pl, victim, pl.Timing().TRAS, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pl.Chip().WorstPattern(m.PhysRow)
+		if m.WCDP != want {
+			t.Fatalf("row %d: WCDP search found %v, device worst is %v", victim, m.WCDP, want)
+		}
+	}
+}
+
+func TestMeasureRowRetentionZero(t *testing.T) {
+	// At 0.18 tRAS, S6 rows must read NRH=0 (bitflips with no
+	// hammering), matching the red cells of Table 3.
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 4)
+	cfg := DefaultConfig()
+	for _, victim := range rows {
+		m, err := MeasureRow(pl, victim, 0.18*pl.Timing().TRAS, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NRH != 0 {
+			t.Fatalf("row %d: NRH=%d at 0.18 tRAS on S6, want 0", victim, m.NRH)
+		}
+	}
+}
+
+func TestMeasureModuleReproducesTable3Shape(t *testing.T) {
+	// End-to-end Algorithm 1: for three representative modules the
+	// measured lowest-NRH curve must follow Table 3 within the
+	// bisection resolution and sampling noise.
+	if testing.Short() {
+		t.Skip("full module sweep in -short mode")
+	}
+	opt := chips.DefaultDeviceOptions()
+	opt.Rows = 128
+	cfg := DefaultConfig()
+	for _, id := range []string{"H5", "M2", "S6"} {
+		mod, _ := chips.ByID(id)
+		var nomLowest int
+		for i, f := range chips.Factors {
+			res, err := MeasureModule(mod, opt, f, 1, 80, 12, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lowest, any := res.LowestNRH()
+			if !any {
+				t.Fatalf("%s@%.2f: no bitflips measured", id, f)
+			}
+			if i == 0 {
+				nomLowest = lowest
+				ratio := float64(lowest) / float64(mod.NominalNRH)
+				if ratio < 0.7 || ratio > 1.4 {
+					t.Errorf("%s: nominal lowest NRH %d vs published %d", id, lowest, mod.NominalNRH)
+				}
+				continue
+			}
+			want := mod.NRHRatio[i]
+			got := float64(lowest) / float64(nomLowest)
+			if want == 0 {
+				if lowest != 0 {
+					t.Errorf("%s@%.2f: want NRH=0, measured %d", id, f, lowest)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 0.25 {
+				t.Errorf("%s@%.2f: measured ratio %.2f vs published %.2f", id, f, got, want)
+			}
+		}
+	}
+}
+
+func TestRepeatedRestorationTrendByMfr(t *testing.T) {
+	// Fig. 11: at 0.36 tRAS, Mfr. S NRH degrades with the number of
+	// consecutive partial restorations; Mfr. M stays flat.
+	opt := chips.DefaultDeviceOptions()
+	opt.Rows = 128
+	cfg := DefaultConfig()
+
+	measure := func(id string, npr int) int {
+		mod, _ := chips.ByID(id)
+		res, err := MeasureModule(mod, opt, 0.36, npr, 80, 6, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowest, _ := res.LowestNRH()
+		return lowest
+	}
+
+	s1, s5k := measure("S6", 1), measure("S6", 5000)
+	if s5k >= s1 {
+		t.Errorf("S6: NRH did not degrade with 5000 restores (%d -> %d)", s1, s5k)
+	}
+	m1, m5k := measure("M2", 1), measure("M2", 5000)
+	if m1 == 0 || math.Abs(float64(m5k-m1)) > float64(cfg.HCStep)*2 {
+		t.Errorf("M2: NRH moved with repeats (%d -> %d)", m1, m5k)
+	}
+}
+
+func TestBERIncreasesAsTRASDrops(t *testing.T) {
+	// Fig. 9: for Mfr. S, BER grows superlinearly as tRAS reduces.
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 4)
+	cfg := DefaultConfig()
+	var prev float64 = -1
+	for _, f := range []float64{1.0, 0.64, 0.45, 0.36} {
+		var sum float64
+		for _, victim := range rows {
+			m, err := MeasureRow(pl, victim, f*pl.Timing().TRAS, 1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += m.BER
+		}
+		if prev >= 0 && sum < prev*0.99 {
+			t.Fatalf("BER fell from %g to %g as tRAS dropped to %.2f", prev, sum, f)
+		}
+		prev = sum
+	}
+}
+
+func TestHalfDoubleUShape(t *testing.T) {
+	// Fig. 13 (Mfr. H): reducing tRAS first reduces the percentage of
+	// rows with Half-Double bitflips, then at very low tRAS the
+	// percentage shoots up.
+	pl := platformFor(t, "H7", 128)
+	rows := SelectRows(pl, 24)
+	cfg := DefaultConfig()
+	hd := DefaultHalfDoubleConfig()
+
+	pct := func(factor float64) float64 {
+		res, err := MeasureHalfDoubleModule(pl, "H7", rows, factor, 1, hd, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PercentFlipped()
+	}
+	nominal := pct(1.0)
+	mid := pct(0.36)
+	low := pct(0.18)
+	if nominal == 0 {
+		t.Fatal("no Half-Double bitflips at nominal tRAS on an H module")
+	}
+	if mid >= nominal {
+		t.Errorf("HD percentage did not drop at 0.36 tRAS: %.1f%% -> %.1f%%", nominal, mid)
+	}
+	if low <= mid {
+		t.Errorf("HD percentage did not rise at 0.18 tRAS: %.1f%% -> %.1f%%", mid, low)
+	}
+}
+
+func TestHalfDoubleSilentOnMfrS(t *testing.T) {
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 12)
+	cfg := DefaultConfig()
+	hd := DefaultHalfDoubleConfig()
+	res, err := MeasureHalfDoubleModule(pl, "S6", rows, 1.0, 1, hd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsFlipped != 0 {
+		t.Fatalf("Mfr. S module showed %d/%d Half-Double rows", res.RowsFlipped, res.RowsTested)
+	}
+}
+
+func TestRetentionFailuresGrowWithWaitAndRepeats(t *testing.T) {
+	// Fig. 14 (Mfr. S): failures appear at lower tRAS, grow with the
+	// retention wait, and grow with the number of restores.
+	pl := platformFor(t, "S6", 128)
+	rows := SelectRows(pl, 24)
+
+	frac := func(factor float64, restores int, waitMs float64) float64 {
+		res, err := MeasureRetentionModule(pl, "S6", rows, factor, restores, waitMs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FailFraction()
+	}
+
+	if f := frac(1.0, 1, 64); f != 0 {
+		t.Fatalf("retention failures at nominal tRAS within 64ms: %g", f)
+	}
+	short := frac(0.27, 10, 64)
+	long := frac(0.27, 10, 1024)
+	if long < short {
+		t.Fatalf("failures shrank with longer wait: %g -> %g", short, long)
+	}
+	once := frac(0.27, 1, 256)
+	many := frac(0.27, 10, 256)
+	if many < once {
+		t.Fatalf("failures shrank with more restores: %g -> %g", once, many)
+	}
+}
+
+func TestModuleResultLowestNRH(t *testing.T) {
+	r := ModuleResult{Rows: []RowMeasurement{
+		{NRH: 5000}, {NRH: 3000}, {NRH: 100000, NoBitflips: true},
+	}}
+	low, any := r.LowestNRH()
+	if !any || low != 3000 {
+		t.Fatalf("LowestNRH = %d/%v", low, any)
+	}
+	empty := ModuleResult{Rows: []RowMeasurement{{NRH: 100000, NoBitflips: true}}}
+	if _, any := empty.LowestNRH(); any {
+		t.Fatal("all-NoBitflips module must report no NRH")
+	}
+}
+
+func BenchmarkMeasureRow(b *testing.B) {
+	pl := platformFor(b, "S6", 128)
+	rows := SelectRows(pl, 1)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureRow(pl, rows[0], pl.Timing().TRAS, 1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

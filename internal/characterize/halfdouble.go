@@ -1,0 +1,103 @@
+package characterize
+
+import (
+	"pacram/internal/bender"
+	"pacram/internal/device"
+)
+
+// HalfDoubleConfig parameterizes the §6 study. The far aggressor (two
+// rows from the victim) is hammered many times at full rate; the near
+// aggressor's activations model the preventive refreshes a mitigation
+// mechanism issues in response, so they are held open for the reduced
+// restoration latency under study — this is what makes the percentage
+// of rows with Half-Double bitflips *drop* as tRAS is reduced (shorter
+// near-row activations disturb less) until the victim's weakened
+// charge dominates at very low tRAS.
+type HalfDoubleConfig struct {
+	FarHC  int
+	NearHC int
+}
+
+// DefaultHalfDoubleConfig returns the fleet defaults used by the
+// Fig. 13 experiment.
+func DefaultHalfDoubleConfig() HalfDoubleConfig {
+	return HalfDoubleConfig{FarHC: 500000, NearHC: 10000}
+}
+
+// MeasureHalfDoubleRow reports whether the victim row experiences
+// Half-Double bitflips when preventively refreshed npr times at
+// trasRedNs and then attacked with the Half-Double pattern within one
+// refresh window, and whether those flips are pure retention failures.
+func MeasureHalfDoubleRow(pl *bender.Platform, victim int, trasRedNs float64,
+	npr int, hd HalfDoubleConfig, cfg Config) (flipped bool, err error) {
+	nb, err := pl.FindNeighbors(victim)
+	if err != nil {
+		return false, err
+	}
+	phys := pl.Scramble().Physical(victim)
+	dp := pl.Chip().WorstPattern(phys)
+
+	mark := pl.Now()
+	prog := []bender.Op{
+		bender.WriteRow{Row: nb.Far[0], Pattern: dp},
+		bender.WriteRow{Row: nb.Near[0], Pattern: dp},
+		bender.WriteRow{Row: victim, Pattern: dp},
+		bender.PartialRestoration(victim, npr, trasRedNs),
+		// Far hammers at full rate (the attacker's accesses)...
+		bender.Loop{Count: hd.FarHC, Body: []bender.Op{
+			bender.Act{Row: nb.Far[0], HoldNs: cfg.OpenNs},
+		}},
+		// ...then near activations modeling victim-adjacent preventive
+		// refreshes issued with the reduced restoration latency.
+		bender.Loop{Count: hd.NearHC, Body: []bender.Op{
+			bender.Act{Row: nb.Near[0], HoldNs: trasRedNs},
+		}},
+		bender.WaitUntil{MarkNs: mark, Ns: pl.Timing().TREFW},
+		bender.ReadRow{Row: victim},
+	}
+	res, err := pl.Run(prog)
+	if err != nil {
+		return false, err
+	}
+	return res[0] > 0, nil
+}
+
+// HalfDoubleResult is the Fig. 13 metric for one sweep point.
+type HalfDoubleResult struct {
+	ModuleID    string
+	Factor      float64
+	NPR         int
+	RowsTested  int
+	RowsFlipped int
+}
+
+// PercentFlipped returns the percentage of tested rows with
+// Half-Double bitflips.
+func (r HalfDoubleResult) PercentFlipped() float64 {
+	if r.RowsTested == 0 {
+		return 0
+	}
+	return 100 * float64(r.RowsFlipped) / float64(r.RowsTested)
+}
+
+// MeasureHalfDoubleModule sweeps the Half-Double test over rows.
+func MeasureHalfDoubleModule(pl *bender.Platform, moduleID string, rows []int,
+	trasFactor float64, npr int, hd HalfDoubleConfig, cfg Config) (HalfDoubleResult, error) {
+	res := HalfDoubleResult{ModuleID: moduleID, Factor: trasFactor, NPR: npr}
+	trasRed := trasFactor * pl.Timing().TRAS
+	for _, victim := range rows {
+		flipped, err := MeasureHalfDoubleRow(pl, victim, trasRed, npr, hd, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.RowsTested++
+		if flipped {
+			res.RowsFlipped++
+		}
+	}
+	return res, nil
+}
+
+// retentionPatterns are the two solid patterns the §7 retention study
+// uses (all ones and all zeros).
+var retentionPatterns = []device.DataPattern{device.PatColStripe, device.PatColStripeInv}

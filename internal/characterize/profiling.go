@@ -1,0 +1,71 @@
+package characterize
+
+import "fmt"
+
+// ProfilingPlan models the §10 profiling methodology and its cost: a
+// system (or vendor) must characterize its DRAM chips once to
+// configure PaCRAM. Tests on different rows overlap within each tREFW
+// wait window, so ConcurrentRows rows complete one full sweep per
+// window sequence.
+type ProfilingPlan struct {
+	// Sweep dimensions (the paper's §10 figures use 5 tRAS values, 10
+	// restoration counts, 5 hammer counts, 5 iterations).
+	TRASValues    int
+	RestoreCounts int
+	HammerCounts  int
+	Iterations    int
+
+	// WaitMs is the retention wait per test (tREFW = 64ms).
+	WaitMs float64
+	// ConcurrentRows is how many rows are tested in an interleaved
+	// fashion within one wait window (1270 in the paper).
+	ConcurrentRows int
+	// RowBytes is the data covered per row (8KB).
+	RowBytes int
+}
+
+// PaperProfilingPlan returns the §10 configuration.
+func PaperProfilingPlan() ProfilingPlan {
+	return ProfilingPlan{
+		TRASValues:     5,
+		RestoreCounts:  10,
+		HammerCounts:   5,
+		Iterations:     5,
+		WaitMs:         64,
+		ConcurrentRows: 1270,
+		RowBytes:       8192,
+	}
+}
+
+// WindowSeconds is the time to fully profile one batch of
+// ConcurrentRows rows: one tREFW wait per sweep point.
+func (p ProfilingPlan) WindowSeconds() float64 {
+	points := p.TRASValues * p.RestoreCounts * p.HammerCounts * p.Iterations
+	return float64(points) * p.WaitMs / 1000
+}
+
+// ThroughputKBs is the profiling throughput in KB/s (the paper's
+// 127 KB/s headline).
+func (p ProfilingPlan) ThroughputKBs() float64 {
+	bytes := float64(p.ConcurrentRows * p.RowBytes)
+	return bytes / p.WindowSeconds() / 1024
+}
+
+// BankMinutes is the time to profile a bank of the given row count
+// (the paper's 68.8 minutes for 64K rows).
+func (p ProfilingPlan) BankMinutes(rowsPerBank int) float64 {
+	batches := float64(rowsPerBank) / float64(p.ConcurrentRows)
+	return batches * p.WindowSeconds() / 60
+}
+
+// BlockedMB is how much data is unavailable at any moment while
+// profiling proceeds in batches (the paper's 9.9MB).
+func (p ProfilingPlan) BlockedMB() float64 {
+	return float64(p.ConcurrentRows*p.RowBytes) / (1024 * 1024)
+}
+
+// String summarizes the plan.
+func (p ProfilingPlan) String() string {
+	return fmt.Sprintf("profiling: %.0fs/window, %.0f KB/s, %.1f min per 64K-row bank, %.1f MB blocked",
+		p.WindowSeconds(), p.ThroughputKBs(), p.BankMinutes(64*1024), p.BlockedMB())
+}

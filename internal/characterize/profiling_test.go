@@ -1,0 +1,45 @@
+package characterize
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperProfilingPlanHeadlines(t *testing.T) {
+	p := PaperProfilingPlan()
+	// §10: 1270 rows within an 80-second window.
+	if w := p.WindowSeconds(); math.Abs(w-80) > 0.01 {
+		t.Fatalf("window = %gs, paper says 80s", w)
+	}
+	// 127 KB/s profiling throughput.
+	if kb := p.ThroughputKBs(); math.Abs(kb-127) > 1 {
+		t.Fatalf("throughput = %g KB/s, paper says 127", kb)
+	}
+	// 68.8 minutes per 64K-row bank.
+	if m := p.BankMinutes(64 * 1024); math.Abs(m-68.8) > 0.2 {
+		t.Fatalf("bank time = %g min, paper says 68.8", m)
+	}
+	// 9.9 MB blocked at a time.
+	if mb := p.BlockedMB(); math.Abs(mb-9.92) > 0.05 {
+		t.Fatalf("blocked = %g MB, paper says ~9.9", mb)
+	}
+	if !strings.Contains(p.String(), "KB/s") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestProfilingPlanScaling(t *testing.T) {
+	p := PaperProfilingPlan()
+	fewer := p
+	fewer.Iterations = 1
+	if fewer.WindowSeconds() >= p.WindowSeconds() {
+		t.Fatal("fewer iterations must shorten the window")
+	}
+	if fewer.ThroughputKBs() <= p.ThroughputKBs() {
+		t.Fatal("fewer iterations must raise throughput")
+	}
+	if p.BankMinutes(128*1024) <= p.BankMinutes(64*1024) {
+		t.Fatal("bigger bank must take longer")
+	}
+}

@@ -1,0 +1,72 @@
+package characterize
+
+import (
+	"pacram/internal/bender"
+)
+
+// RetentionResult is the Fig. 14 metric: the fraction of rows with
+// data-retention failures after `Restores` reduced-latency charge
+// restorations followed by a wait of WaitMs.
+type RetentionResult struct {
+	ModuleID string
+	Factor   float64
+	Restores int
+	WaitMs   float64
+	Tested   int
+	Failed   int
+}
+
+// FailFraction returns the fraction of tested rows that failed.
+func (r RetentionResult) FailFraction() float64 {
+	if r.Tested == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Tested)
+}
+
+// MeasureRetentionRow reports whether the row loses data after being
+// restored `restores` times at trasRedNs and left alone for waitMs,
+// testing both solid data patterns (§7 uses all-1s and all-0s).
+func MeasureRetentionRow(pl *bender.Platform, row int, trasRedNs float64,
+	restores int, waitMs float64) (failed bool, err error) {
+	for _, dp := range retentionPatterns {
+		prog := []bender.Op{
+			bender.WriteRow{Row: row, Pattern: dp},
+			bender.PartialRestoration(row, restores, trasRedNs),
+			bender.Wait{Ns: waitMs * 1e6},
+			bender.ReadRow{Row: row},
+		}
+		res, err := pl.Run(prog)
+		if err != nil {
+			return false, err
+		}
+		if res[0] > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MeasureRetentionModule sweeps the retention test over rows at one
+// (factor, restores, wait) point.
+func MeasureRetentionModule(pl *bender.Platform, moduleID string, rows []int,
+	trasFactor float64, restores int, waitMs float64) (RetentionResult, error) {
+	res := RetentionResult{
+		ModuleID: moduleID,
+		Factor:   trasFactor,
+		Restores: restores,
+		WaitMs:   waitMs,
+	}
+	trasRed := trasFactor * pl.Timing().TRAS
+	for _, row := range rows {
+		failed, err := MeasureRetentionRow(pl, row, trasRed, restores, waitMs)
+		if err != nil {
+			return res, err
+		}
+		res.Tested++
+		if failed {
+			res.Failed++
+		}
+	}
+	return res, nil
+}

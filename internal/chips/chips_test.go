@@ -1,0 +1,338 @@
+package chips
+
+import (
+	"math"
+	"testing"
+
+	"pacram/internal/device"
+)
+
+func TestRegistryMatchesPaperInventory(t *testing.T) {
+	if got := len(Registry()); got != 30 {
+		t.Fatalf("registry has %d modules, paper tests 30", got)
+	}
+	if got := TotalChips(); got != 388 {
+		t.Fatalf("registry has %d chips, paper tests 388", got)
+	}
+	counts := map[Mfr]int{}
+	for _, m := range Registry() {
+		counts[m.Info.Mfr]++
+	}
+	if counts[MfrH] != 9 || counts[MfrM] != 7 || counts[MfrS] != 14 {
+		t.Fatalf("module counts per mfr = %v, want H:9 M:7 S:14", counts)
+	}
+}
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Registry() {
+		id := m.Info.ID
+		if seen[id] {
+			t.Fatalf("duplicate module ID %s", id)
+		}
+		seen[id] = true
+		got, err := ByID(id)
+		if err != nil || got != m {
+			t.Fatalf("ByID(%s) failed: %v", id, err)
+		}
+	}
+	if _, err := ByID("Z9"); err == nil {
+		t.Fatal("ByID of unknown module should error")
+	}
+}
+
+func TestRegistryDataSane(t *testing.T) {
+	for _, m := range Registry() {
+		if m.NoBitflips {
+			continue
+		}
+		if m.NominalNRH < 1000 || m.NominalNRH > 100000 {
+			t.Fatalf("%s: implausible nominal NRH %d", m.Info.ID, m.NominalNRH)
+		}
+		if m.NRHRatio[0] != 1.0 {
+			t.Fatalf("%s: nominal ratio must be 1.0", m.Info.ID)
+		}
+		for i, r := range m.NRHRatio {
+			if r < 0 || r > 1 {
+				t.Fatalf("%s: ratio[%d]=%g out of [0,1]", m.Info.ID, i, r)
+			}
+			// An NRH=0 factor must also have NPCR = N/A.
+			if r == 0 && m.NPCR[i] != NPCRNA {
+				t.Fatalf("%s: factor %d has NRH=0 but NPCR=%d", m.Info.ID, i, m.NPCR[i])
+			}
+		}
+		if m.NPCR[0] != NPCRUnlimited {
+			t.Fatalf("%s: nominal NPCR must be unlimited", m.Info.ID)
+		}
+	}
+}
+
+func TestByMfrPartition(t *testing.T) {
+	total := 0
+	for _, mfr := range Mfrs() {
+		mods := ByMfr(mfr)
+		total += len(mods)
+		for _, m := range mods {
+			if m.Info.Mfr != mfr {
+				t.Fatalf("ByMfr(%s) returned %s module", mfr, m.Info.Mfr)
+			}
+		}
+	}
+	if total != len(Registry()) {
+		t.Fatalf("ByMfr partitions %d modules, registry has %d", total, len(Registry()))
+	}
+}
+
+func TestMfrFullNames(t *testing.T) {
+	if MfrH.FullName() != "SK Hynix" || MfrM.FullName() != "Micron" || MfrS.FullName() != "Samsung" {
+		t.Fatal("manufacturer names wrong")
+	}
+	if Mfr("Q").FullName() != "Unknown" {
+		t.Fatal("unknown mfr should report Unknown")
+	}
+}
+
+func TestFitReproducesRatios(t *testing.T) {
+	// The fitted restoration curve must reproduce each module's
+	// published normalized-NRH curve within a tolerance comparable to
+	// the paper's own 1K-hammer measurement granularity.
+	for _, m := range Registry() {
+		if m.NoBitflips {
+			continue
+		}
+		fit := FitModule(m)
+		if fit.Err > 0.08 {
+			t.Errorf("%s: fit RMS error %.3f too high (t0=%.1f tau=%.1f)",
+				m.Info.ID, fit.Err, fit.T0, fit.TauR)
+		}
+		for i := range Factors {
+			pred := m.PredictedRatio(i)
+			want := m.NRHRatio[i]
+			if math.Abs(pred-want) > 0.17 {
+				t.Errorf("%s factor %.2f: predicted ratio %.2f vs published %.2f",
+					m.Info.ID, Factors[i], pred, want)
+			}
+		}
+	}
+}
+
+func TestFitZeroCellsPredictZero(t *testing.T) {
+	// Every red (NRH=0) cell of Table 3 must be predicted as 0.
+	for _, m := range Registry() {
+		if m.NoBitflips {
+			continue
+		}
+		for i := range Factors {
+			if m.NRHRatio[i] == 0 {
+				if pred := m.PredictedRatio(i); pred != 0 {
+					t.Errorf("%s factor %.2f: predicted %.2f, published NRH=0",
+						m.Info.ID, Factors[i], pred)
+				}
+			}
+		}
+	}
+}
+
+func TestEtaFitMatchesNPCR(t *testing.T) {
+	// For the module the paper uses as its worked example (S6: NPCR=2K
+	// at 0.36 tRAS), the calibrated restore level after NPCR partial
+	// restores must sit just above the retention-critical margin, and
+	// fail shortly after.
+	m, err := ByID("S6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.DeviceParams(DefaultDeviceOptions())
+	vAtLimit := p.RestoreLevel(0.36*33, 2000)
+	vBeyond := p.RestoreLevel(0.36*33, 8000)
+	if vAtLimit-p.VTh < 0 {
+		t.Fatalf("margin already negative at the published NPCR: %g", vAtLimit-p.VTh)
+	}
+	if vBeyond >= vAtLimit {
+		t.Fatal("restore level must keep degrading past NPCR")
+	}
+	if vBeyond-p.VTh > calMarginCrit*4 {
+		t.Fatalf("margin 4x past NPCR still large: %g", vBeyond-p.VTh)
+	}
+}
+
+func TestDeviceParamsValidForAllModules(t *testing.T) {
+	opt := DefaultDeviceOptions()
+	for _, m := range Registry() {
+		p := m.DeviceParams(opt)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Info.ID, err)
+		}
+		if p.Name != m.Info.ID {
+			t.Errorf("%s: params name %q", m.Info.ID, p.Name)
+		}
+	}
+}
+
+func TestCalibratedNominalNRHNearTarget(t *testing.T) {
+	// The measured lowest NRH across the sampled rows should land
+	// within ~20% of the published nominal NRH (sampling the max of a
+	// lognormal is noisy at 128 rows).
+	opt := DefaultDeviceOptions()
+	for _, id := range []string{"H5", "M2", "S6", "H1", "S2"} {
+		m, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip := m.NewChip(opt)
+		lowest := math.MaxInt
+		for r := 0; r < chip.Rows(); r++ {
+			if n := chip.WeakestNRH(r, 33.0, 1, 64); n < lowest {
+				lowest = n
+			}
+		}
+		ratio := float64(lowest) / float64(m.NominalNRH)
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Errorf("%s: measured lowest NRH %d vs published %d (ratio %.2f)",
+				id, lowest, m.NominalNRH, ratio)
+		}
+	}
+}
+
+func TestCalibratedRatiosMeasuredOnChip(t *testing.T) {
+	// End-to-end: the analytic per-row NRH measured on the calibrated
+	// chip, normalized to nominal, should track the published curve.
+	opt := DefaultDeviceOptions()
+	for _, id := range []string{"H5", "M2", "S6"} {
+		m, _ := ByID(id)
+		chip := m.NewChip(opt)
+		for i, f := range Factors {
+			want := m.NRHRatio[i]
+			lowest, lowestNom := math.MaxInt, math.MaxInt
+			for r := 0; r < 48; r++ {
+				if n := chip.WeakestNRH(r, f*33.0, 1, 64); n < lowest {
+					lowest = n
+				}
+				if n := chip.WeakestNRH(r, 33.0, 1, 64); n < lowestNom {
+					lowestNom = n
+				}
+			}
+			got := float64(lowest) / float64(lowestNom)
+			if want == 0 {
+				if lowest != 0 {
+					t.Errorf("%s@%.2f: want NRH=0, measured %d", id, f, lowest)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 0.2 {
+				t.Errorf("%s@%.2f: measured ratio %.2f vs published %.2f", id, f, got, want)
+			}
+		}
+	}
+}
+
+func TestNoBitflipModuleIsQuiet(t *testing.T) {
+	m, _ := ByID("H0")
+	chip := m.NewChip(DefaultDeviceOptions())
+	for r := 0; r < 16; r++ {
+		chip.InitRow(r, chip.WorstPattern(r))
+		chip.HammerDoubleSided(r, 100000, 33, 46)
+	}
+	chip.Advance(64e6)
+	for r := 0; r < 16; r++ {
+		if n := chip.Bitflips(r); n != 0 {
+			t.Fatalf("H0 (no-bitflip module) flipped %d cells in row %d", n, r)
+		}
+	}
+}
+
+func TestHalfDoubleCouplingByMfr(t *testing.T) {
+	optH, _ := ByID("H7")
+	optS, _ := ByID("S6")
+	pH := optH.DeviceParams(DefaultDeviceOptions())
+	pS := optS.DeviceParams(DefaultDeviceOptions())
+	if pH.D2Ratio <= 0 {
+		t.Fatal("Mfr. H modules must have distance-2 coupling (Half-Double)")
+	}
+	if pS.D2Ratio != 0 {
+		t.Fatal("Mfr. S modules must have zero distance-2 coupling (paper saw no HD flips)")
+	}
+}
+
+func TestDeviceParamsDeterministic(t *testing.T) {
+	m, _ := ByID("S6")
+	a := m.DeviceParams(DefaultDeviceOptions())
+	b := m.DeviceParams(DefaultDeviceOptions())
+	if a != b {
+		t.Fatal("DeviceParams must be deterministic")
+	}
+}
+
+var sinkParams device.Params
+
+func BenchmarkFitAllModules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fitMu.Lock()
+		fitCache = map[string]Fit{}
+		fitMu.Unlock()
+		for _, m := range Registry() {
+			sinkParams = m.DeviceParams(DefaultDeviceOptions())
+		}
+	}
+}
+
+func TestIDsSortedComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(Registry()))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs not sorted at %d: %s <= %s", i, ids[i], ids[i-1])
+		}
+	}
+}
+
+func TestFactorNs(t *testing.T) {
+	if FactorNs(0) != 33.0 {
+		t.Fatalf("nominal factor = %g ns", FactorNs(0))
+	}
+	if math.Abs(FactorNs(4)-0.36*33.0) > 1e-9 {
+		t.Fatalf("factor 4 = %g ns", FactorNs(4))
+	}
+}
+
+func TestConfigScaleAcrossRegistry(t *testing.T) {
+	// ConfigScale must be 0 exactly on the red cells, in (0,1]
+	// elsewhere, and non-increasing as tRAS shrinks for Mfr. S
+	// modules (their margin only degrades).
+	for _, m := range Registry() {
+		if m.NoBitflips {
+			continue
+		}
+		prev := 2.0
+		for i := range Factors {
+			s := m.ConfigScale(i)
+			if m.NRHRatio[i] == 0 || m.NPCR[i] == NPCRNA {
+				if s != 0 {
+					t.Errorf("%s factor %d: red cell has scale %g", m.Info.ID, i, s)
+				}
+				continue
+			}
+			if s <= 0 || s > 1 {
+				t.Errorf("%s factor %d: scale %g out of (0,1]", m.Info.ID, i, s)
+			}
+			if m.Info.Mfr == MfrS && s > prev+1e-9 {
+				t.Errorf("%s: scale increased from %g to %g as tRAS shrank", m.Info.ID, prev, s)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestPredictedRatioMonotoneForS(t *testing.T) {
+	m, _ := ByID("S6")
+	prev := 2.0
+	for i := range Factors {
+		r := m.PredictedRatio(i)
+		if r > prev+1e-9 {
+			t.Fatalf("predicted ratio increased at factor %d: %g -> %g", i, prev, r)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,328 @@
+// Package chips holds the inventory of the 30 DDR4 modules (388 chips)
+// the paper characterizes (Table 1) together with their published
+// per-module characterization results (Appendix C, Tables 3 and 4),
+// and calibrates a device.Params for each module so that running the
+// paper's Algorithm 1 against the modeled chip reproduces the published
+// behaviour.
+package chips
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mfr identifies a DRAM manufacturer as anonymized in the paper.
+type Mfr string
+
+const (
+	MfrH Mfr = "H" // SK Hynix
+	MfrM Mfr = "M" // Micron
+	MfrS Mfr = "S" // Samsung
+)
+
+// FullName returns the de-anonymized manufacturer name from Table 1.
+func (m Mfr) FullName() string {
+	switch m {
+	case MfrH:
+		return "SK Hynix"
+	case MfrM:
+		return "Micron"
+	case MfrS:
+		return "Samsung"
+	}
+	return "Unknown"
+}
+
+// Factors lists the normalized charge-restoration latencies the paper
+// sweeps (tRAS(Red)/tRAS(Nom)); index 0 is nominal. The absolute
+// values at tRAS(Nom)=33ns are 33, 27, 21, 15, 12, 9 and 6 ns.
+var Factors = [7]float64{1.00, 0.81, 0.64, 0.45, 0.36, 0.27, 0.18}
+
+// FactorNs returns the absolute tRAS in ns for factor index i.
+func FactorNs(i int) float64 { return Factors[i] * 33.0 }
+
+// NPCR sentinel values for Table 4 entries.
+const (
+	// NPCRUnlimited encodes the paper's "15.0K" entries: at least 15K
+	// consecutive partial restorations were safe (the sweep's upper
+	// bound), so in practice periodic refresh always intervenes first.
+	NPCRUnlimited = 15000
+	// NPCRNA encodes the red cells: partial restoration at this
+	// latency is not applicable (bitflips occur without hammering).
+	NPCRNA = -1
+)
+
+// ModuleInfo is the Table 1 metadata for one module.
+type ModuleInfo struct {
+	ID         string // H0..H8, M0..M6, S0..S13
+	Mfr        Mfr
+	PartNumber string // "Unknown" where the paper could not identify it
+	FormFactor string // U-DIMM, R-DIMM, SO-DIMM
+	DieRev     string
+	DensityGb  int
+	DQ         int    // chip organization (x4/x8/x16)
+	DateCode   string // WWYY or N/A
+	Chips      int
+}
+
+// ModuleData couples a module's metadata with its published
+// characterization results, which serve as calibration targets for the
+// device model.
+type ModuleData struct {
+	Info ModuleInfo
+
+	// NoBitflips marks modules where the paper observed no RowHammer
+	// bitflips at all within 100K hammers (H0).
+	NoBitflips bool
+
+	// NominalNRH is the lowest observed NRH at nominal tRAS (Table 3).
+	NominalNRH int
+
+	// NRHRatio[i] is the lowest observed NRH at Factors[i] normalized
+	// to nominal (Table 3), clamped to [0,1]; 0 encodes the red cells
+	// (retention bitflips with no hammering).
+	NRHRatio [7]float64
+
+	// NPCR[i] is the maximum safe number of consecutive partial charge
+	// restorations at Factors[i] (Table 4). Index 0 is always
+	// NPCRUnlimited (nominal restores are full).
+	NPCR [7]int
+}
+
+// registry lists all 30 tested modules. Data is transcribed from the
+// paper's Tables 1, 3 and 4 (ratios above 1.0 in Table 3 are
+// measurement noise and are clamped to 1.0 here).
+var registry = []*ModuleData{
+	// ---------------- Mfr. H (SK Hynix), 152 chips ----------------
+	{
+		Info:       ModuleInfo{ID: "H0", Mfr: MfrH, PartNumber: "H5AN4G8NMFR-TFC", FormFactor: "SO-DIMM", DieRev: "M", DensityGb: 4, DQ: 8, DateCode: "N/A", Chips: 8},
+		NoBitflips: true,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRNA, NPCRNA, NPCRNA, NPCRNA, NPCRNA, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "H1", Mfr: MfrH, PartNumber: "Unknown", FormFactor: "SO-DIMM", DieRev: "X", DensityGb: 4, DQ: 8, DateCode: "N/A", Chips: 8},
+		NominalNRH: 56200,
+		NRHRatio:   [7]float64{1.00, 0.94, 0.99, 1.00, 0.99, 0.81, 0.78},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1},
+	},
+	{
+		Info:       ModuleInfo{ID: "H2", Mfr: MfrH, PartNumber: "H5AN4G8NAFR-TFC", FormFactor: "SO-DIMM", DieRev: "A", DensityGb: 4, DQ: 8, DateCode: "N/A", Chips: 8},
+		NominalNRH: 39100,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 0.97},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1},
+	},
+	{
+		Info:       ModuleInfo{ID: "H3", Mfr: MfrH, PartNumber: "H5AN8G4NMFR-UKC", FormFactor: "R-DIMM", DieRev: "M", DensityGb: 8, DQ: 4, DateCode: "N/A", Chips: 32},
+		NominalNRH: 59800,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.99, 0.94, 0.94, 0.93},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1},
+	},
+	{
+		Info:       ModuleInfo{ID: "H4", Mfr: MfrH, PartNumber: "H5AN8G8NDJR-XNC", FormFactor: "R-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2048", Chips: 16},
+		NominalNRH: 11700,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 1.00, 1.00, 0.87, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "H5", Mfr: MfrH, PartNumber: "H5AN8G8NDJR-XNC", FormFactor: "R-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2048", Chips: 16},
+		NominalNRH: 10200,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 300, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "H6", Mfr: MfrH, PartNumber: "H5AN8G4NAFR-VKC", FormFactor: "R-DIMM", DieRev: "A", DensityGb: 8, DQ: 4, DateCode: "N/A", Chips: 32},
+		NominalNRH: 23800,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.98, 0.93, 0.93, 0.75},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1},
+	},
+	{
+		Info:       ModuleInfo{ID: "H7", Mfr: MfrH, PartNumber: "H5ANAG8NCJR-XNC", FormFactor: "U-DIMM", DieRev: "C", DensityGb: 16, DQ: 8, DateCode: "2136", Chips: 16},
+		NominalNRH: 8600,
+		NRHRatio:   [7]float64{1.00, 1.00, 0.91, 1.00, 1.00, 0.82, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "H8", Mfr: MfrH, PartNumber: "H5ANAG8NCJR-XNC", FormFactor: "U-DIMM", DieRev: "C", DensityGb: 16, DQ: 8, DateCode: "2136", Chips: 16},
+		NominalNRH: 10500,
+		NRHRatio:   [7]float64{1.00, 1.00, 0.96, 0.81, 0.81, 0.74, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRNA},
+	},
+
+	// ---------------- Mfr. M (Micron), 104 chips ----------------
+	{
+		Info:       ModuleInfo{ID: "M0", Mfr: MfrM, PartNumber: "MT40A2G4WE-083E:B", FormFactor: "R-DIMM", DieRev: "B", DensityGb: 8, DQ: 4, DateCode: "N/A", Chips: 16},
+		NominalNRH: 43800,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M1", Mfr: MfrM, PartNumber: "MT40A2G4WE-083E:B", FormFactor: "R-DIMM", DieRev: "B", DensityGb: 8, DQ: 4, DateCode: "N/A", Chips: 16},
+		NominalNRH: 37100,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M2", Mfr: MfrM, PartNumber: "MT40A2G4WE-083E:B", FormFactor: "R-DIMM", DieRev: "B", DensityGb: 8, DQ: 4, DateCode: "N/A", Chips: 16},
+		NominalNRH: 42600,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M3", Mfr: MfrM, PartNumber: "MT40A2G8SA-062E:F", FormFactor: "SO-DIMM", DieRev: "F", DensityGb: 16, DQ: 8, DateCode: "2237", Chips: 16},
+		NominalNRH: 6200,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M4", Mfr: MfrM, PartNumber: "MT40A1G16KD-062E:E", FormFactor: "SO-DIMM", DieRev: "E", DensityGb: 16, DQ: 16, DateCode: "2046", Chips: 4},
+		NominalNRH: 5100,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M5", Mfr: MfrM, PartNumber: "MT40A4G4JC-062E:E", FormFactor: "R-DIMM", DieRev: "E", DensityGb: 16, DQ: 4, DateCode: "2014", Chips: 32},
+		NominalNRH: 5900,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 1.00, 1.00, 1.00, 0.93},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+	{
+		Info:       ModuleInfo{ID: "M6", Mfr: MfrM, PartNumber: "MT40A1G16RC-062E:B", FormFactor: "SO-DIMM", DieRev: "B", DensityGb: 16, DQ: 16, DateCode: "2126", Chips: 4},
+		NominalNRH: 13300,
+		NRHRatio:   [7]float64{1, 1, 1, 1, 1, 1, 1},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited},
+	},
+
+	// ---------------- Mfr. S (Samsung), 132 chips ----------------
+	{
+		Info:       ModuleInfo{ID: "S0", Mfr: MfrS, PartNumber: "K4A4G085WF-BCTD", FormFactor: "U-DIMM", DieRev: "F", DensityGb: 4, DQ: 8, DateCode: "N/A", Chips: 16},
+		NominalNRH: 12500,
+		NRHRatio:   [7]float64{1.00, 0.94, 1.00, 0.94, 0.81, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 10000, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S1", Mfr: MfrS, PartNumber: "K4A4G085WF-BCTD", FormFactor: "U-DIMM", DieRev: "F", DensityGb: 4, DQ: 8, DateCode: "N/A", Chips: 16},
+		NominalNRH: 14100,
+		NRHRatio:   [7]float64{1.00, 1.00, 0.92, 0.78, 0.69, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 2, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S2", Mfr: MfrS, PartNumber: "K4A4G085WE-BCPB", FormFactor: "SO-DIMM", DieRev: "E", DensityGb: 4, DQ: 8, DateCode: "1708", Chips: 8},
+		NominalNRH: 25800,
+		NRHRatio:   [7]float64{1.00, 1.00, 0.97, 0.94, 0.88, 0.77, 0.20},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, 1},
+	},
+	{
+		Info:       ModuleInfo{ID: "S3", Mfr: MfrS, PartNumber: "K4A4G085WE-BCPB", FormFactor: "SO-DIMM", DieRev: "E", DensityGb: 4, DQ: 8, DateCode: "1708", Chips: 8},
+		NominalNRH: 21900,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.93, 0.89, 0.80, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S4", Mfr: MfrS, PartNumber: "K4A4G085WE-BCPB", FormFactor: "SO-DIMM", DieRev: "E", DensityGb: 4, DQ: 8, DateCode: "1708", Chips: 8},
+		NominalNRH: 25000,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.98, 0.86, 0, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRNA, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S5", Mfr: MfrS, PartNumber: "Unknown", FormFactor: "SO-DIMM", DieRev: "C", DensityGb: 4, DQ: 16, DateCode: "N/A", Chips: 4},
+		NominalNRH: 11300,
+		NRHRatio:   [7]float64{1.00, 0.90, 0.93, 0.90, 0.86, 0.79, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 2, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S6", Mfr: MfrS, PartNumber: "K4A8G085WD-BCTD", FormFactor: "U-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2110", Chips: 8},
+		NominalNRH: 7800,
+		NRHRatio:   [7]float64{1.00, 0.90, 0.90, 0.90, 0.80, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 2000, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S7", Mfr: MfrS, PartNumber: "K4A8G085WD-BCTD", FormFactor: "U-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2110", Chips: 8},
+		NominalNRH: 7800,
+		NRHRatio:   [7]float64{1.00, 1.00, 0.90, 0.80, 0.70, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S8", Mfr: MfrS, PartNumber: "K4A8G085WD-BCTD", FormFactor: "U-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2110", Chips: 8},
+		NominalNRH: 7800,
+		NRHRatio:   [7]float64{1.00, 0.85, 1.00, 0.80, 0.65, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S9", Mfr: MfrS, PartNumber: "K4A8G085WD-BCTD", FormFactor: "U-DIMM", DieRev: "D", DensityGb: 8, DQ: 8, DateCode: "2110", Chips: 8},
+		NominalNRH: 7800,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.85, 0.80, 0.50, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 2, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S10", Mfr: MfrS, PartNumber: "K4A8G085WC-BCRC", FormFactor: "R-DIMM", DieRev: "C", DensityGb: 8, DQ: 8, DateCode: "1809", Chips: 16},
+		NominalNRH: 14100,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.94, 0.89, 0.72, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 1, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S11", Mfr: MfrS, PartNumber: "K4A8G085WB-BCTD", FormFactor: "R-DIMM", DieRev: "B", DensityGb: 8, DQ: 8, DateCode: "2052", Chips: 8},
+		NominalNRH: 28100,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.94, 0.97, 0, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRNA, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S12", Mfr: MfrS, PartNumber: "K4AAG085WA-BCWE", FormFactor: "U-DIMM", DieRev: "A", DensityGb: 8, DQ: 8, DateCode: "2212", Chips: 8},
+		NominalNRH: 9000,
+		NRHRatio:   [7]float64{1.00, 0.91, 0.87, 1.00, 0.78, 0, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRNA, NPCRNA},
+	},
+	{
+		Info:       ModuleInfo{ID: "S13", Mfr: MfrS, PartNumber: "Unknown", FormFactor: "U-DIMM", DieRev: "B", DensityGb: 16, DQ: 8, DateCode: "2315", Chips: 8},
+		NominalNRH: 7000,
+		NRHRatio:   [7]float64{1.00, 1.00, 1.00, 0.94, 1.00, 0.83, 0},
+		NPCR:       [7]int{NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, NPCRUnlimited, 5, NPCRNA},
+	},
+}
+
+// Registry returns all 30 tested modules in paper order.
+func Registry() []*ModuleData { return registry }
+
+// ByID returns the module with the given ID (e.g. "H5", "S6").
+func ByID(id string) (*ModuleData, error) {
+	for _, m := range registry {
+		if m.Info.ID == id {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("chips: unknown module %q", id)
+}
+
+// ByMfr returns the modules of one manufacturer, in paper order.
+func ByMfr(mfr Mfr) []*ModuleData {
+	var out []*ModuleData
+	for _, m := range registry {
+		if m.Info.Mfr == mfr {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Mfrs returns the three manufacturers in the paper's order.
+func Mfrs() []Mfr { return []Mfr{MfrH, MfrM, MfrS} }
+
+// TotalChips returns the total number of DRAM chips in the registry
+// (388 in the paper).
+func TotalChips() int {
+	n := 0
+	for _, m := range registry {
+		n += m.Info.Chips
+	}
+	return n
+}
+
+// IDs returns the sorted module IDs.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, m := range registry {
+		ids[i] = m.Info.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

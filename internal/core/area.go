@@ -1,0 +1,45 @@
+package pacram
+
+// Area and latency model for PaCRAM's metadata (§8.4). The paper
+// evaluates the FR bit vector with CACTI: 0.0069 mm^2 and 0.27 ns
+// access for one bank's 64K-row vector (8KB of SRAM), against a
+// 14nm-class high-end Intel Xeon die.
+const (
+	// areaPerBankMM2 is the CACTI-derived SRAM area of one bank's FR
+	// vector (64K rows = 8KB).
+	areaPerBankMM2 = 0.0069
+	// rowsPerBankRef is the row count that area figure assumes.
+	rowsPerBankRef = 64 * 1024
+	// AccessLatencyNs is the FR vector's SRAM access latency; it hides
+	// entirely under the DRAM row-activation latency (~14ns).
+	AccessLatencyNs = 0.27
+	// xeonDieMM2 calibrates the "% of a high-end Intel Xeon processor"
+	// figure: 32 banks * 0.0069mm^2 = 0.22mm^2 = 0.09% of the die.
+	xeonDieMM2 = 246.0
+	// memCtrlMM2 calibrates the "% of the memory controller" figure
+	// (1.35% for the paper's dual-rank system).
+	memCtrlMM2 = 16.4
+)
+
+// AreaMM2 returns PaCRAM's SRAM area for a subsystem with the given
+// total bank count and rows per bank (linear in total rows).
+func AreaMM2(banks, rowsPerBank int) float64 {
+	return areaPerBankMM2 * float64(banks) * float64(rowsPerBank) / rowsPerBankRef
+}
+
+// StorageBytes returns the FR metadata size in bytes (1 bit per row).
+func StorageBytes(banks, rowsPerBank int) int {
+	return banks * ((rowsPerBank + 7) / 8)
+}
+
+// XeonOverheadPercent returns the area as a percentage of a high-end
+// Xeon die (the paper's 0.09% headline for 32 banks of 64K rows).
+func XeonOverheadPercent(areaMM2 float64) float64 {
+	return 100 * areaMM2 / xeonDieMM2
+}
+
+// MemCtrlOverheadPercent returns the area as a percentage of the
+// memory controller (the paper's 1.35% figure).
+func MemCtrlOverheadPercent(areaMM2 float64) float64 {
+	return 100 * areaMM2 / memCtrlMM2
+}

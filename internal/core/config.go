@@ -1,0 +1,141 @@
+// Package pacram implements the paper's contribution: Partial Charge
+// Restoration for Aggressive Mitigation (PaCRAM, §8). PaCRAM sits in
+// the memory controller next to an existing RowHammer mitigation
+// mechanism and reduces the charge-restoration latency of the
+// preventive refreshes that mechanism issues, while (i) scaling the
+// mechanism's configured RowHammer threshold down by the
+// experimentally measured NRH reduction and (ii) bounding consecutive
+// partial restorations with the full-charge-restoration interval
+// (tFCRI) enforced through the fully-restored (FR) bit vector.
+package pacram
+
+import (
+	"fmt"
+	"math"
+
+	"pacram/internal/chips"
+	"pacram/internal/ddr"
+)
+
+// Config is a derived PaCRAM operating point for one DRAM module and
+// one reduced restoration latency.
+type Config struct {
+	ModuleID string
+	// FactorIdx indexes chips.Factors; Factor is its value.
+	FactorIdx int
+	Factor    float64
+	// ReducedTRASNs is the restoration latency of partial preventive
+	// refreshes; NominalTRASNs that of full ones.
+	ReducedTRASNs float64
+	NominalTRASNs float64
+	// NRHScale is the multiplicative reduction PaCRAM applies to the
+	// wrapped mitigation mechanism's RowHammer threshold (<= 1).
+	NRHScale float64
+	// NPCR is the maximum number of consecutive partial charge
+	// restorations the module tolerates at this latency.
+	NPCR int
+	// TFCRINs is the full-charge-restoration interval (§8.3):
+	// NPCR * (NRH*tRC + tRAS(Red) + tRP). +Inf when NPCR is unbounded
+	// within a refresh window (every preventive refresh may be
+	// partial, footnote 6).
+	TFCRINs float64
+	// TREFWNs is the refresh window; when TFCRINs >= TREFWNs the FR
+	// vector is unnecessary.
+	TREFWNs float64
+	// TRPNs is the precharge latency (refresh cost accounting).
+	TRPNs float64
+}
+
+// Derive computes the PaCRAM configuration for a module at factor
+// index idx, wrapping a mitigation mechanism configured for
+// mitigationNRH, under timing t. It fails when the module cannot use
+// that latency (Table 3/4 red cells: bitflips without hammering).
+func Derive(m *chips.ModuleData, idx int, mitigationNRH int, t ddr.Timing) (Config, error) {
+	if idx < 0 || idx >= len(chips.Factors) {
+		return Config{}, fmt.Errorf("pacram: factor index %d out of range", idx)
+	}
+	if mitigationNRH < 1 {
+		return Config{}, fmt.Errorf("pacram: mitigation NRH must be >= 1")
+	}
+	if m.NoBitflips {
+		return Config{}, fmt.Errorf("pacram: module %s has no measured RowHammer threshold", m.Info.ID)
+	}
+	scale := m.ConfigScale(idx)
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("pacram: module %s cannot be refreshed at %.2f tRAS (retention failures)",
+			m.Info.ID, chips.Factors[idx])
+	}
+	cfg := Config{
+		ModuleID:      m.Info.ID,
+		FactorIdx:     idx,
+		Factor:        chips.Factors[idx],
+		ReducedTRASNs: chips.Factors[idx] * t.TRAS,
+		NominalTRASNs: t.TRAS,
+		NRHScale:      scale,
+		NPCR:          m.NPCR[idx],
+		TREFWNs:       t.TREFW,
+		TRPNs:         t.TRP,
+	}
+	scaledNRH := cfg.ScaledNRH(mitigationNRH)
+	if cfg.NPCR >= chips.NPCRUnlimited {
+		cfg.TFCRINs = math.Inf(1)
+	} else {
+		cfg.TFCRINs = float64(cfg.NPCR) * (float64(scaledNRH)*t.TRC() + cfg.ReducedTRASNs + t.TRP)
+	}
+	return cfg, nil
+}
+
+// ScaledNRH returns the RowHammer threshold the wrapped mitigation
+// mechanism must be configured with (>= 1).
+func (c Config) ScaledNRH(base int) int {
+	n := int(math.Floor(float64(base) * c.NRHScale))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AlwaysPartial reports whether every preventive refresh may use the
+// reduced latency (footnote 6: tFCRI exceeds the refresh window, so
+// periodic refresh performs the full restoration first).
+func (c Config) AlwaysPartial() bool {
+	return c.TFCRINs >= c.TREFWNs
+}
+
+// String summarizes the operating point.
+func (c Config) String() string {
+	tfcri := "inf"
+	if !math.IsInf(c.TFCRINs, 1) {
+		tfcri = fmt.Sprintf("%.3gms", c.TFCRINs/1e6)
+	}
+	return fmt.Sprintf("PaCRAM(%s@%.2f tRAS: hold %.1fns, NRH scale %.2f, NPCR %d, tFCRI %s)",
+		c.ModuleID, c.Factor, c.ReducedTRASNs, c.NRHScale, c.NPCR, tfcri)
+}
+
+// BestFactor returns the configuration with the lowest expected
+// preventive-refresh cost for the module: it minimizes the normalized
+// total time cost (refresh latency divided by NRH scale — the Fig. 4
+// trade-off) across usable factors, wrapping a mechanism at
+// mitigationNRH.
+func BestFactor(m *chips.ModuleData, mitigationNRH int, t ddr.Timing) (Config, error) {
+	best := Config{}
+	bestCost := math.Inf(1)
+	found := false
+	for idx := range chips.Factors {
+		cfg, err := Derive(m, idx, mitigationNRH, t)
+		if err != nil {
+			continue
+		}
+		// Cost per protected activation: refresh latency divided by
+		// the scaled threshold (more aggressive mechanisms refresh
+		// more often).
+		cost := (cfg.ReducedTRASNs + t.TRP) / (float64(mitigationNRH) * cfg.NRHScale)
+		if cost < bestCost {
+			best, bestCost, found = cfg, cost, true
+		}
+	}
+	if !found {
+		return Config{}, fmt.Errorf("pacram: module %s has no usable reduced latency", m.Info.ID)
+	}
+	return best, nil
+}

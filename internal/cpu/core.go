@@ -1,0 +1,164 @@
+// Package cpu implements the trace-driven processor model of the
+// paper's simulated system (Table 2): a 3.2 GHz core with a 4-wide
+// issue/retire stage and a 128-entry instruction window. Non-memory
+// instructions retire immediately; loads occupy a window slot until
+// the memory system calls back; stores retire into the memory
+// controller's write queue without blocking.
+package cpu
+
+import "pacram/internal/trace"
+
+// Defaults from the paper's Table 2.
+const (
+	DefaultWindowSize = 128
+	DefaultWidth      = 4
+)
+
+// MemoryPort is the core's view of the memory hierarchy. Issue returns
+// false when the memory system cannot accept the request this cycle
+// (queue full); the core retries next cycle. For reads, done is
+// invoked when data returns; for writes done is nil.
+type MemoryPort interface {
+	Issue(addr uint64, write bool, done func()) bool
+}
+
+// slot is one instruction-window entry.
+type slot struct {
+	done bool
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	id     int
+	gen    trace.Generator
+	mem    MemoryPort
+	window []slot
+	head   int
+	count  int
+
+	// pending is the stalled front of the trace: bubbles left to
+	// insert, then possibly a memory access not yet accepted.
+	bubblesLeft int
+	memPending  bool
+	memRec      trace.Record
+	havePending bool
+
+	width int
+
+	retired  uint64
+	cycles   uint64
+	loadsOut int
+
+	// stats
+	Loads, Stores uint64
+}
+
+// New builds a core replaying gen through mem.
+func New(id int, gen trace.Generator, mem MemoryPort) *Core {
+	return &Core{
+		id:     id,
+		gen:    gen,
+		mem:    mem,
+		window: make([]slot, DefaultWindowSize),
+		width:  DefaultWidth,
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns the number of elapsed cycles.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.cycles)
+}
+
+// OutstandingLoads returns the number of in-flight loads.
+func (c *Core) OutstandingLoads() int { return c.loadsOut }
+
+// Tick advances the core by one cycle: retire up to width completed
+// instructions from the window head, then insert up to width new
+// instructions from the trace.
+func (c *Core) Tick() {
+	c.cycles++
+
+	// Retire.
+	for n := 0; n < c.width && c.count > 0; n++ {
+		if !c.window[c.head].done {
+			break // head is an outstanding load: in-order retire stalls
+		}
+		c.head = (c.head + 1) % len(c.window)
+		c.count--
+		c.retired++
+	}
+
+	// Dispatch.
+	for n := 0; n < c.width && c.count < len(c.window); n++ {
+		if !c.refillPending() {
+			break
+		}
+		if c.bubblesLeft > 0 {
+			c.bubblesLeft--
+			c.push(true)
+			continue
+		}
+		// Memory access at the front.
+		rec := c.memRec
+		if rec.Write {
+			// Stores retire once accepted by the write queue.
+			if !c.mem.Issue(rec.Addr, true, nil) {
+				break // write queue full; retry next cycle
+			}
+			c.Stores++
+			c.memPending = false
+			c.havePending = false
+			c.push(true)
+			continue
+		}
+		// Load: occupies a slot until the callback fires. The slot is
+		// written before Issue so a synchronous callback cannot be
+		// clobbered; it is only counted if the issue succeeds.
+		idx := (c.head + c.count) % len(c.window)
+		c.window[idx] = slot{done: false}
+		issued := c.mem.Issue(rec.Addr, false, func() {
+			c.window[idx].done = true
+			c.loadsOut--
+		})
+		if !issued {
+			break // read queue full; retry next cycle
+		}
+		c.count++
+		c.Loads++
+		c.loadsOut++
+		c.memPending = false
+		c.havePending = false
+	}
+}
+
+// refillPending ensures there is a trace record being worked on.
+func (c *Core) refillPending() bool {
+	if c.havePending {
+		return true
+	}
+	rec := c.gen.Next()
+	c.memRec = rec
+	c.bubblesLeft = rec.Bubbles
+	c.memPending = true
+	c.havePending = true
+	return true
+}
+
+// push appends one instruction to the window.
+func (c *Core) push(done bool) {
+	idx := (c.head + c.count) % len(c.window)
+	c.window[idx] = slot{done: done}
+	c.count++
+}

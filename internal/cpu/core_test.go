@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"testing"
+
+	"pacram/internal/trace"
+)
+
+// fakeMem is a configurable memory port.
+type fakeMem struct {
+	latency   int
+	queue     []func()
+	countdown []int
+	rejects   int
+	issued    int
+	full      bool
+}
+
+func (m *fakeMem) Issue(addr uint64, write bool, done func()) bool {
+	if m.full {
+		m.rejects++
+		return false
+	}
+	m.issued++
+	if done != nil {
+		m.queue = append(m.queue, done)
+		m.countdown = append(m.countdown, m.latency)
+	}
+	return true
+}
+
+func (m *fakeMem) tick() {
+	for i := 0; i < len(m.queue); {
+		m.countdown[i]--
+		if m.countdown[i] <= 0 {
+			m.queue[i]()
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.countdown = append(m.countdown[:i], m.countdown[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+func gen(t testing.TB, spec trace.Spec) trace.Generator {
+	t.Helper()
+	g, err := trace.New(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestComputeBoundIPCNearWidth(t *testing.T) {
+	// A pure-compute workload (huge bubbles, instant memory) should
+	// retire at nearly the full width.
+	g := gen(t, trace.Spec{Name: "c", BubbleMean: 1000, Pattern: trace.PatternRandom, FootprintMB: 16})
+	mem := &fakeMem{latency: 1}
+	c := New(0, g, mem)
+	for i := 0; i < 10000; i++ {
+		c.Tick()
+		mem.tick()
+	}
+	if ipc := c.IPC(); ipc < 3.5 {
+		t.Fatalf("compute-bound IPC %.2f, want ~4", ipc)
+	}
+}
+
+func TestMemoryLatencyThrottlesIPC(t *testing.T) {
+	spec := trace.Spec{Name: "m", BubbleMean: 2, Pattern: trace.PatternRandom, FootprintMB: 16}
+	run := func(latency int) float64 {
+		c := New(0, gen(t, spec).Clone(), &fakeMem{latency: latency})
+		mem := c.mem.(*fakeMem)
+		for i := 0; i < 20000; i++ {
+			c.Tick()
+			mem.tick()
+		}
+		return c.IPC()
+	}
+	fast, slow := run(5), run(200)
+	if slow >= fast {
+		t.Fatalf("IPC did not drop with memory latency: %.2f -> %.2f", fast, slow)
+	}
+	if slow > 1.0 {
+		t.Fatalf("latency-200 IPC %.2f implausibly high for a memory-bound trace", slow)
+	}
+}
+
+func TestWindowLimitsMLP(t *testing.T) {
+	// With enormous latency, outstanding loads are bounded by the
+	// window size.
+	spec := trace.Spec{Name: "w", BubbleMean: 0, Pattern: trace.PatternRandom, FootprintMB: 16}
+	mem := &fakeMem{latency: 1 << 30}
+	c := New(0, gen(t, spec), mem)
+	for i := 0; i < 1000; i++ {
+		c.Tick()
+	}
+	if c.OutstandingLoads() > DefaultWindowSize {
+		t.Fatalf("%d outstanding loads exceed the window", c.OutstandingLoads())
+	}
+	if c.OutstandingLoads() < DefaultWindowSize/2 {
+		t.Fatalf("only %d outstanding loads; window not exploited", c.OutstandingLoads())
+	}
+	if c.Retired() != 0 {
+		t.Fatalf("retired %d instructions with no load ever completing", c.Retired())
+	}
+}
+
+func TestQueueFullStallsCore(t *testing.T) {
+	spec := trace.Spec{Name: "q", BubbleMean: 0, Pattern: trace.PatternRandom, FootprintMB: 16}
+	mem := &fakeMem{full: true}
+	c := New(0, gen(t, spec), mem)
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if mem.issued != 0 {
+		t.Fatal("requests issued despite a full queue")
+	}
+	if mem.rejects == 0 {
+		t.Fatal("core never retried the stalled access")
+	}
+	// Unblock and verify progress resumes.
+	mem.full = false
+	mem.latency = 2
+	for i := 0; i < 1000; i++ {
+		c.Tick()
+		mem.tick()
+	}
+	if c.Retired() == 0 {
+		t.Fatal("core did not recover after queue unblocked")
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	// All-write trace with instant acceptance: should retire at
+	// near-full width even though no callbacks ever fire.
+	spec := trace.Spec{Name: "st", BubbleMean: 1, Pattern: trace.PatternRandom,
+		FootprintMB: 16, WriteFrac: 1.0}
+	mem := &fakeMem{}
+	c := New(0, gen(t, spec), mem)
+	for i := 0; i < 10000; i++ {
+		c.Tick()
+	}
+	if ipc := c.IPC(); ipc < 3.0 {
+		t.Fatalf("store-only IPC %.2f; stores must not block", ipc)
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	spec := trace.Spec{Name: "x", BubbleMean: 5, Pattern: trace.PatternRandom,
+		FootprintMB: 16, WriteFrac: 0.3}
+	mem := &fakeMem{latency: 10}
+	c := New(0, gen(t, spec), mem)
+	for i := 0; i < 5000; i++ {
+		c.Tick()
+		mem.tick()
+	}
+	if c.Loads == 0 || c.Stores == 0 {
+		t.Fatal("loads/stores not counted")
+	}
+	if c.ID() != 0 {
+		t.Fatal("ID wrong")
+	}
+	if c.Cycles() != 5000 {
+		t.Fatalf("cycles %d", c.Cycles())
+	}
+}
+
+func BenchmarkCoreTick(b *testing.B) {
+	spec := trace.Spec{Name: "b", BubbleMean: 10, Pattern: trace.PatternRandom, FootprintMB: 64}
+	g, _ := trace.New(spec, 1)
+	mem := &fakeMem{latency: 50}
+	c := New(0, g, mem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+		mem.tick()
+	}
+}

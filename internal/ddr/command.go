@@ -1,0 +1,46 @@
+// Package ddr defines the DRAM vocabulary shared by the device model,
+// the DRAM-Bender-style test platform, and the system simulator:
+// commands, timing parameter sets (DDR4/DDR5), module geometry, and
+// physical address mapping.
+package ddr
+
+// CommandKind enumerates the DRAM bus commands modeled in this
+// reproduction. VRR (victim-row refresh) is the controller-generated
+// preventive refresh the paper's mitigation mechanisms issue; on the
+// bus it is an ACT+PRE pair whose restoration time PaCRAM may reduce.
+type CommandKind uint8
+
+const (
+	CmdACT  CommandKind = iota // activate (open) a row
+	CmdPRE                     // precharge (close) the open row of a bank
+	CmdPREA                    // precharge all banks in a rank
+	CmdRD                      // column read burst
+	CmdWR                      // column write burst
+	CmdREF                     // periodic all-bank refresh
+	CmdRFM                     // refresh management (DDR5)
+	CmdVRR                     // preventive (victim row) refresh: ACT+PRE
+
+	numCommandKinds
+)
+
+var commandNames = [numCommandKinds]string{
+	"ACT", "PRE", "PREA", "RD", "WR", "REF", "RFM", "VRR",
+}
+
+// String returns the JEDEC-style mnemonic for k.
+func (k CommandKind) String() string {
+	if int(k) < len(commandNames) {
+		return commandNames[k]
+	}
+	return "UNKNOWN"
+}
+
+// IsRowCommand reports whether the command operates on a row (opens or
+// closes it) rather than a column.
+func (k CommandKind) IsRowCommand() bool {
+	switch k {
+	case CmdACT, CmdPRE, CmdPREA, CmdREF, CmdRFM, CmdVRR:
+		return true
+	}
+	return false
+}

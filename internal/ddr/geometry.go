@@ -1,0 +1,119 @@
+package ddr
+
+import "fmt"
+
+// Geometry describes the hierarchical organization of a DRAM
+// subsystem: channel -> rank -> bank group -> bank -> row -> column.
+// The paper's simulated system is 1 channel, 2 ranks, 8 bank groups of
+// 2 banks, 64K rows per bank.
+type Geometry struct {
+	Channels      int
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+	Rows          int
+	Columns       int // cache-line sized columns per row
+	LineBytes     int // bytes per column access (cache line)
+}
+
+// PaperSystem returns the geometry of the paper's simulated DDR5
+// system (Table 2), with 8KB rows (128 x 64B columns).
+func PaperSystem() Geometry {
+	return Geometry{
+		Channels:      1,
+		Ranks:         2,
+		BankGroups:    8,
+		BanksPerGroup: 2,
+		Rows:          64 * 1024,
+		Columns:       128,
+		LineBytes:     64,
+	}
+}
+
+// SmallSystem returns a scaled-down geometry for fast tests.
+func SmallSystem() Geometry {
+	return Geometry{
+		Channels:      1,
+		Ranks:         1,
+		BankGroups:    4,
+		BanksPerGroup: 2,
+		Rows:          1024,
+		Columns:       32,
+		LineBytes:     64,
+	}
+}
+
+// Validate checks that every dimension is positive and a power of two
+// (required by the bit-slicing address codec).
+func (g Geometry) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"channels", g.Channels}, {"ranks", g.Ranks},
+		{"bank groups", g.BankGroups}, {"banks per group", g.BanksPerGroup},
+		{"rows", g.Rows}, {"columns", g.Columns}, {"line bytes", g.LineBytes},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("ddr: geometry %s must be positive, got %d", d.name, d.v)
+		}
+		if d.v&(d.v-1) != 0 {
+			return fmt.Errorf("ddr: geometry %s must be a power of two, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Banks returns the number of banks per rank.
+func (g Geometry) Banks() int { return g.BankGroups * g.BanksPerGroup }
+
+// TotalBanks returns the number of banks across all channels and ranks.
+func (g Geometry) TotalBanks() int { return g.Channels * g.Ranks * g.Banks() }
+
+// TotalBytes returns the capacity of the subsystem in bytes.
+func (g Geometry) TotalBytes() uint64 {
+	return uint64(g.Channels) * uint64(g.Ranks) * uint64(g.Banks()) *
+		uint64(g.Rows) * uint64(g.Columns) * uint64(g.LineBytes)
+}
+
+// RowBytes returns the size of one row in bytes.
+func (g Geometry) RowBytes() int { return g.Columns * g.LineBytes }
+
+// Address identifies one cache-line-sized column in the subsystem.
+type Address struct {
+	Channel   int
+	Rank      int
+	BankGroup int
+	Bank      int // bank within group
+	Row       int
+	Column    int
+}
+
+// FlatBank returns a dense index for the (channel, rank, bank group,
+// bank) tuple, used to index per-bank state arrays.
+func (g Geometry) FlatBank(a Address) int {
+	return ((a.Channel*g.Ranks+a.Rank)*g.BankGroups+a.BankGroup)*g.BanksPerGroup + a.Bank
+}
+
+// BankOfFlat reconstructs the address components of a flat bank index
+// (row and column are zero).
+func (g Geometry) BankOfFlat(flat int) Address {
+	a := Address{}
+	a.Bank = flat % g.BanksPerGroup
+	flat /= g.BanksPerGroup
+	a.BankGroup = flat % g.BankGroups
+	flat /= g.BankGroups
+	a.Rank = flat % g.Ranks
+	a.Channel = flat / g.Ranks
+	return a
+}
+
+// Contains reports whether a is a legal address in g.
+func (g Geometry) Contains(a Address) bool {
+	return a.Channel >= 0 && a.Channel < g.Channels &&
+		a.Rank >= 0 && a.Rank < g.Ranks &&
+		a.BankGroup >= 0 && a.BankGroup < g.BankGroups &&
+		a.Bank >= 0 && a.Bank < g.BanksPerGroup &&
+		a.Row >= 0 && a.Row < g.Rows &&
+		a.Column >= 0 && a.Column < g.Columns
+}

@@ -1,0 +1,171 @@
+package ddr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mapper translates flat physical byte addresses into DRAM coordinates.
+// The paper's simulated memory controller uses the MOP (Minimalist
+// Open-Page) mapping; a simple row-interleaved mapping is provided for
+// comparison and tests.
+type Mapper struct {
+	geo Geometry
+	// fields, from least significant upward. Each entry names one
+	// address component and how many bits it consumes.
+	fields []mapField
+	scheme string
+}
+
+type mapField struct {
+	kind fieldKind
+	bits int
+}
+
+type fieldKind uint8
+
+const (
+	fOffset fieldKind = iota
+	fColumnLow
+	fChannel
+	fRank
+	fBankGroup
+	fBank
+	fColumnHigh
+	fRow
+)
+
+func log2(v int) int { return bits.TrailingZeros(uint(v)) }
+
+// NewMOPMapper builds the MOP mapping used in the paper (Kaseridis et
+// al., MICRO'11): a few column bits stay adjacent to the line offset so
+// each row hit streams mopWidth lines, then channel/rank/bank bits
+// interleave, then the remaining column bits, then row bits.
+func NewMOPMapper(geo Geometry, mopWidth int) (*Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if mopWidth <= 0 || mopWidth&(mopWidth-1) != 0 || mopWidth > geo.Columns {
+		return nil, fmt.Errorf("ddr: MOP width %d must be a power of two <= columns (%d)", mopWidth, geo.Columns)
+	}
+	colLow := log2(mopWidth)
+	colHigh := log2(geo.Columns) - colLow
+	m := &Mapper{geo: geo, scheme: "MOP"}
+	m.fields = []mapField{
+		{fOffset, log2(geo.LineBytes)},
+		{fColumnLow, colLow},
+		{fChannel, log2(geo.Channels)},
+		{fRank, log2(geo.Ranks)},
+		{fBankGroup, log2(geo.BankGroups)},
+		{fBank, log2(geo.BanksPerGroup)},
+		{fColumnHigh, colHigh},
+		{fRow, log2(geo.Rows)},
+	}
+	return m, nil
+}
+
+// NewRowInterleavedMapper builds a simple RoBaRaCoCh-style mapping:
+// consecutive lines walk the whole row, then banks, ranks, channels,
+// then rows. Maximizes row-buffer locality for streaming.
+func NewRowInterleavedMapper(geo Geometry) (*Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mapper{geo: geo, scheme: "RowInterleaved"}
+	m.fields = []mapField{
+		{fOffset, log2(geo.LineBytes)},
+		{fColumnLow, log2(geo.Columns)},
+		{fChannel, log2(geo.Channels)},
+		{fBankGroup, log2(geo.BankGroups)},
+		{fBank, log2(geo.BanksPerGroup)},
+		{fRank, log2(geo.Ranks)},
+		{fColumnHigh, 0},
+		{fRow, log2(geo.Rows)},
+	}
+	return m, nil
+}
+
+// Scheme returns the mapping scheme name.
+func (m *Mapper) Scheme() string { return m.scheme }
+
+// Geometry returns the geometry the mapper was built for.
+func (m *Mapper) Geometry() Geometry { return m.geo }
+
+// AddressBits returns the number of significant physical address bits.
+func (m *Mapper) AddressBits() int {
+	n := 0
+	for _, f := range m.fields {
+		n += f.bits
+	}
+	return n
+}
+
+// Decode maps a flat physical byte address to DRAM coordinates.
+// Address bits above AddressBits() wrap around (the address space is
+// treated as a torus so synthetic traces never fall out of range).
+func (m *Mapper) Decode(phys uint64) Address {
+	var a Address
+	for _, f := range m.fields {
+		v := int(phys & ((1 << f.bits) - 1))
+		phys >>= f.bits
+		switch f.kind {
+		case fOffset:
+			// byte offset within the line; discarded
+		case fColumnLow:
+			a.Column |= v
+		case fColumnHigh:
+			a.Column |= v << m.colLowBits()
+		case fChannel:
+			a.Channel = v
+		case fRank:
+			a.Rank = v
+		case fBankGroup:
+			a.BankGroup = v
+		case fBank:
+			a.Bank = v
+		case fRow:
+			a.Row = v
+		}
+	}
+	return a
+}
+
+// Encode is the inverse of Decode: it maps DRAM coordinates back to
+// the canonical flat physical byte address (offset bits zero).
+func (m *Mapper) Encode(a Address) uint64 {
+	var phys uint64
+	shift := 0
+	for _, f := range m.fields {
+		var v int
+		switch f.kind {
+		case fOffset:
+			v = 0
+		case fColumnLow:
+			v = a.Column & ((1 << f.bits) - 1)
+		case fColumnHigh:
+			v = a.Column >> m.colLowBits()
+		case fChannel:
+			v = a.Channel
+		case fRank:
+			v = a.Rank
+		case fBankGroup:
+			v = a.BankGroup
+		case fBank:
+			v = a.Bank
+		case fRow:
+			v = a.Row
+		}
+		phys |= uint64(v&((1<<f.bits)-1)) << shift
+		shift += f.bits
+	}
+	return phys
+}
+
+func (m *Mapper) colLowBits() int {
+	for _, f := range m.fields {
+		if f.kind == fColumnLow {
+			return f.bits
+		}
+	}
+	return 0
+}

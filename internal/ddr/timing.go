@@ -1,0 +1,131 @@
+package ddr
+
+import "fmt"
+
+// Timing holds the DRAM timing parameters used by the simulator, in
+// nanoseconds. Only parameters the paper's evaluation depends on are
+// modeled; values follow JEDEC DDR4-2400 / DDR5-4800 datasheets.
+type Timing struct {
+	Name string
+
+	TCK   float64 // clock period of the DRAM command bus
+	TRCD  float64 // ACT -> RD/WR
+	TRP   float64 // PRE -> ACT
+	TRAS  float64 // ACT -> PRE (nominal charge restoration latency)
+	TCL   float64 // RD -> data
+	TCWL  float64 // WR -> data
+	TBL   float64 // burst length on the data bus
+	TCCD  float64 // column-to-column, same bank group (tCCD_L)
+	TCCDS float64 // column-to-column, different bank group (tCCD_S)
+	TRRD  float64 // ACT -> ACT, different banks (tRRD_L)
+	TFAW  float64 // four-activate window
+	TWR   float64 // write recovery
+	TRTP  float64 // read to precharge
+	TWTR  float64 // write to read turnaround
+
+	TRFC  float64 // REF -> next command to the rank
+	TREFI float64 // average periodic refresh interval
+	TREFW float64 // refresh window (retention guarantee)
+
+	TRFM float64 // RFM command service time (DDR5)
+}
+
+// TRC returns the row cycle time tRAS + tRP, the minimum interval
+// between two ACTs to the same bank. The paper's tFCRI formula and the
+// maximum hammer rate both derive from it.
+func (t Timing) TRC() float64 { return t.TRAS + t.TRP }
+
+// Validate checks internal consistency of the timing set.
+func (t Timing) Validate() error {
+	type pc struct {
+		name string
+		v    float64
+	}
+	for _, p := range []pc{
+		{"tCK", t.TCK}, {"tRCD", t.TRCD}, {"tRP", t.TRP}, {"tRAS", t.TRAS},
+		{"tCL", t.TCL}, {"tBL", t.TBL}, {"tCCD", t.TCCD}, {"tRRD", t.TRRD},
+		{"tFAW", t.TFAW}, {"tWR", t.TWR}, {"tRFC", t.TRFC},
+		{"tREFI", t.TREFI}, {"tREFW", t.TREFW},
+	} {
+		if p.v <= 0 {
+			return fmt.Errorf("ddr: %s timing %s must be positive, got %g", t.Name, p.name, p.v)
+		}
+	}
+	if t.TRAS < t.TRCD {
+		return fmt.Errorf("ddr: %s tRAS (%g) < tRCD (%g)", t.Name, t.TRAS, t.TRCD)
+	}
+	if t.TREFI >= t.TREFW {
+		return fmt.Errorf("ddr: %s tREFI (%g) >= tREFW (%g)", t.Name, t.TREFI, t.TREFW)
+	}
+	return nil
+}
+
+// DDR4 returns the DDR4-2400 timing set used for device
+// characterization (the paper tests DDR4 modules: tRAS 33ns, tREFW
+// 64ms, tREFI 7.8us, tRFC 350ns for 8Gb parts).
+func DDR4() Timing {
+	return Timing{
+		Name:  "DDR4-2400",
+		TCK:   0.833,
+		TRCD:  14.16,
+		TRP:   14.16,
+		TRAS:  33.0,
+		TCL:   14.16,
+		TCWL:  10.0,
+		TBL:   3.33, // BL8 at 2400 MT/s
+		TCCD:  5.0,
+		TCCDS: 3.33,
+		TRRD:  4.9,
+		TFAW:  25.0,
+		TWR:   15.0,
+		TRTP:  7.5,
+		TWTR:  7.5,
+		TRFC:  350.0,
+		TREFI: 7800.0,
+		TREFW: 64e6, // 64 ms
+		TRFM:  350.0,
+	}
+}
+
+// DDR5 returns the DDR5-4800 timing set used for the system-level
+// evaluation (the paper simulates a DDR5 main memory: tREFW 32ms,
+// tREFI 3.9us, tRFC 195ns for 8Gb parts).
+func DDR5() Timing {
+	return Timing{
+		Name:  "DDR5-4800",
+		TCK:   0.417,
+		TRCD:  14.16,
+		TRP:   14.16,
+		TRAS:  32.0,
+		TCL:   14.16,
+		TCWL:  12.0,
+		TBL:   3.33, // BL16 at 4800 MT/s
+		TCCD:  3.33,
+		TCCDS: 1.67,
+		TRRD:  5.0,
+		TFAW:  13.33,
+		TWR:   30.0,
+		TRTP:  7.5,
+		TWTR:  10.0,
+		TRFC:  195.0,
+		TREFI: 3900.0,
+		TREFW: 32e6, // 32 ms
+		TRFM:  195.0,
+	}
+}
+
+// WithTRAS returns a copy of t with the nominal tRAS replaced. Used to
+// derive reduced-restoration-latency timing sets for preventive
+// refreshes (the paper's tRAS(Red)).
+func (t Timing) WithTRAS(tras float64) Timing {
+	t.TRAS = tras
+	return t
+}
+
+// ScaleTRFC returns a copy of t with tRFC scaled by f; Appendix B's
+// periodic-refresh extension reduces refresh latency this way, and
+// higher-density chips increase it.
+func (t Timing) ScaleTRFC(f float64) Timing {
+	t.TRFC *= f
+	return t
+}

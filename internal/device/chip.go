@@ -1,0 +1,363 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"pacram/internal/xrand"
+)
+
+func expNeg(x float64) float64 { return math.Exp(-x) }
+func powf(x, y float64) float64 {
+	if y == 1 {
+		return x
+	}
+	return math.Pow(x, y)
+}
+
+// rowParams holds the deterministic, per-row process-variation sample.
+type rowParams struct {
+	dmax    float64                  // weakest cell charge loss per double-sided hammer
+	kshape  float64                  // cell sensitivity spread exponent
+	retMs   float64                  // weakest cell retention time at full charge (ms)
+	pat     [NumDataPatterns]float64 // disturb coupling factor per data pattern (max = 1)
+	worstDP DataPattern
+	d2      float64 // distance-2 coupling ratio for this row
+}
+
+// rowState is the dynamic charge state of one row.
+type rowState struct {
+	inited        bool
+	pattern       DataPattern
+	v0            float64 // weakest-cell level right after the last restore
+	partials      int     // consecutive partial restorations since the last full one
+	lastRestoreNs float64 // chip time of the last restore
+	disturb       float64 // accumulated effective double-sided hammer count (weakest-cell units)
+}
+
+// Chip is one modeled DRAM device (one bank under test). It is the
+// stand-in for a real chip behind the DRAM-Bender platform: the bender
+// package issues timed ACT/PRE sequences against it and reads bitflips
+// back. The model is aggressor-centric: Activate(r, ...) restores row r
+// and disturbs its physical neighbours at distance 1 and 2, in closed
+// form over any activation count. Methods are not safe for concurrent
+// use; a characterization run owns its chip.
+type Chip struct {
+	p    Params
+	temp float64 // current temperature (C)
+	now  float64 // chip-local wall clock (ns)
+
+	rows   map[int]*rowParams
+	states map[int]*rowState
+}
+
+// NewChip builds a chip from params. It panics on invalid params, as a
+// chip with inconsistent physics would silently corrupt experiments.
+func NewChip(p Params) *Chip {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Chip{
+		p:      p,
+		temp:   p.TempRef,
+		rows:   make(map[int]*rowParams),
+		states: make(map[int]*rowState),
+	}
+}
+
+// Params returns the chip's physical parameters.
+func (c *Chip) Params() Params { return c.p }
+
+// Rows returns the number of rows in the tested bank.
+func (c *Chip) Rows() int { return c.p.Rows }
+
+// Now returns the chip-local time in ns.
+func (c *Chip) Now() float64 { return c.now }
+
+// SetTemperature sets the ambient temperature in Celsius (the bender
+// platform's heater/PID loop drives this).
+func (c *Chip) SetTemperature(t float64) { c.temp = t }
+
+// Temperature returns the current ambient temperature in Celsius.
+func (c *Chip) Temperature() float64 { return c.temp }
+
+// row returns (and lazily materializes) the process variation of row r.
+func (c *Chip) row(r int) *rowParams {
+	if rp, ok := c.rows[r]; ok {
+		return rp
+	}
+	if r < 0 || r >= c.p.Rows {
+		panic(fmt.Sprintf("device: row %d out of range [0,%d)", r, c.p.Rows))
+	}
+	rng := xrand.Derive(c.p.Seed, 0xD0, uint64(r))
+	rp := &rowParams{
+		dmax:   c.p.DMaxMed * rng.LogNormal(0, c.p.DMaxSigma),
+		kshape: rng.TruncNormal(c.p.KShapeMean, c.p.KShapeSD, 1.5, 10),
+		retMs:  c.p.RetMedMs * rng.LogNormal(0, c.p.RetSigma),
+		d2:     c.p.D2Ratio * rng.TruncNormal(1, 0.3, 0, 3),
+	}
+	rp.worstDP = DataPattern(rng.Intn(NumDataPatterns))
+	for i := range rp.pat {
+		if DataPattern(i) == rp.worstDP {
+			rp.pat[i] = 1.0
+		} else {
+			rp.pat[i] = rng.TruncNormal(0.8, 0.1, 0.55, 0.97)
+		}
+	}
+	c.rows[r] = rp
+	return rp
+}
+
+// state returns the dynamic state of row r, creating a blank one.
+func (c *Chip) state(r int) *rowState {
+	if s, ok := c.states[r]; ok {
+		return s
+	}
+	s := &rowState{}
+	c.states[r] = s
+	return s
+}
+
+// tempDisturb returns the disturb multiplier at the current temperature.
+func (c *Chip) tempDisturb() float64 {
+	return 1 + c.p.TempCoeffDisturb*(c.temp-c.p.TempRef)
+}
+
+// tempRet returns the retention-time multiplier at the current
+// temperature (retention halves every RetHalvingC degrees).
+func (c *Chip) tempRet() float64 {
+	return math.Exp2(-(c.temp - c.p.TempRef) / c.p.RetHalvingC)
+}
+
+// Advance moves the chip clock forward by ns (leakage accrues
+// implicitly: bitflip evaluation integrates elapsed time since the last
+// restore).
+func (c *Chip) Advance(ns float64) {
+	if ns < 0 {
+		panic("device: Advance with negative duration")
+	}
+	c.now += ns
+}
+
+// InitRow writes the given data pattern into row r (and conceptually
+// its aggressor neighbours). Writing fully restores the row's charge
+// and clears accumulated disturbance and the partial-restore counter.
+func (c *Chip) InitRow(r int, dp DataPattern) {
+	c.row(r)
+	s := c.state(r)
+	s.inited = true
+	s.pattern = dp
+	s.v0 = c.p.RestoreLevel(c.p.TRASNom, 1)
+	s.partials = 0
+	s.disturb = 0
+	// Writing a full row takes on the order of a row cycle per burst;
+	// modeled as a single row cycle since only relative time matters.
+	c.now += c.p.TRASNom
+	s.lastRestoreNs = c.now
+}
+
+// fullRestoreThreshold is the fraction of nominal tRAS at or above
+// which a restoration counts as full (resets the consecutive-partial
+// counter). The paper treats only nominal-latency refreshes as full.
+const fullRestoreThreshold = 0.999
+
+// Activate performs count back-to-back activations of row r, each
+// holding the row open for holdNs and costing cycleNs of wall-clock
+// time (>= tRC at the maximum hammer rate). Effects, all closed-form:
+//
+//   - row r itself is charge-restored count times at holdNs (partial if
+//     holdNs is below nominal tRAS — repeated partials accumulate);
+//   - initialized rows at distance 1 and 2 accumulate read disturbance
+//     scaled by their data-pattern coupling, the temperature, and the
+//     RowPress open-time factor.
+func (c *Chip) Activate(r int, holdNs float64, count int, cycleNs float64) {
+	if count <= 0 {
+		return
+	}
+	c.row(r) // bounds check
+	press := c.pressFactor(holdNs)
+	temp := c.tempDisturb()
+
+	// Disturb initialized neighbours.
+	for _, off := range [...]int{-2, -1, 1, 2} {
+		v := r + off
+		s, ok := c.states[v]
+		if !ok || !s.inited {
+			continue
+		}
+		rp := c.row(v)
+		couple := 0.5 // one aggressor side contributes half a double-sided unit
+		if off == -2 || off == 2 {
+			couple *= rp.d2
+		}
+		s.disturb += float64(count) * couple * rp.pat[s.pattern] * temp * press
+	}
+
+	// Self-restoration of the activated row.
+	s := c.state(r)
+	if s.inited {
+		if holdNs >= fullRestoreThreshold*c.p.TRASNom {
+			s.partials = 0
+			s.v0 = c.p.RestoreLevel(holdNs, 1)
+		} else {
+			s.partials += count
+			s.v0 = c.p.RestoreLevel(holdNs, s.partials)
+		}
+		s.disturb = 0
+	}
+	c.now += float64(count) * cycleNs
+	if s.inited {
+		s.lastRestoreNs = c.now
+	}
+}
+
+// Restore performs one charge restoration of row r (ACT held for
+// trasNs, then PRE), costing trasNs + tRP of wall clock (approximated
+// as trasNs + 14ns). A restoration at nominal latency is full and
+// resets the partial counter; shorter ones are partial and accumulate.
+func (c *Chip) Restore(r int, trasNs float64) {
+	c.Activate(r, trasNs, 1, trasNs+14)
+}
+
+// HammerDoubleSided applies hc activations to each of the two rows
+// adjacent to victim r in an alternating manner (the paper's
+// double-sided pattern), each activation holding the aggressor open
+// for openNs at a cycle time of cycleNs.
+func (c *Chip) HammerDoubleSided(r int, hc int, openNs, cycleNs float64) {
+	if hc <= 0 {
+		return
+	}
+	if r-1 >= 0 {
+		c.Activate(r-1, openNs, hc, cycleNs)
+	}
+	if r+1 < c.p.Rows {
+		c.Activate(r+1, openNs, hc, cycleNs)
+	}
+}
+
+// HammerSingle applies hc activations to the single aggressor at the
+// given signed offset from victim r (±1 near, ±2 far). Used by the
+// Half-Double pattern: many far hammers then few near hammers.
+func (c *Chip) HammerSingle(r int, offset, hc int, openNs, cycleNs float64) {
+	a := r + offset
+	if a < 0 || a >= c.p.Rows {
+		return
+	}
+	c.Activate(a, openNs, hc, cycleNs)
+}
+
+// pressFactor scales per-activation disturbance with how long the
+// aggressor stays open: (1-PressCoeff) is pure activation-count
+// (RowHammer) and PressCoeff scales linearly with open time (the
+// RowPress component).
+func (c *Chip) pressFactor(openNs float64) float64 {
+	ratio := openNs / c.p.TRASNom
+	if ratio > 4 {
+		ratio = 4
+	}
+	return (1 - c.p.PressCoeff) + c.p.PressCoeff*ratio
+}
+
+// BitflipCounts reports the number of flipped cells in row r at the
+// current time, split by mechanism: retention failures (cells that
+// leaked below threshold with no help from hammering) and disturb
+// failures. Reading does not change the row state.
+func (c *Chip) BitflipCounts(r int) (retention, disturb int) {
+	rp := c.row(r)
+	s := c.state(r)
+	if !s.inited {
+		return 0, 0
+	}
+	elapsedMs := (c.now - s.lastRestoreNs) / 1e6
+	margin := s.v0 - c.p.VTh // charge above the sensing threshold
+	if margin <= 0 {
+		// The row never restored above threshold: everything vulnerable
+		// reads wrong immediately.
+		return c.p.CellsPerRow / 2, 0
+	}
+
+	// Retention: the weakest-retention cell loses (VFull-VTh) of
+	// charge in retMs at full charge; at reduced charge the time
+	// shrinks proportionally to the margin.
+	retTimeMs := rp.retMs * c.tempRet() * margin / (c.p.VFull - c.p.VTh)
+	if retTimeMs < elapsedMs {
+		retention = c.cellRetFailures(rp, retTimeMs, elapsedMs)
+	}
+
+	// Disturbance: the weakest-disturb cell flips when accumulated
+	// effective hammers exceed margin/dmax (after retention leakage of
+	// the median cell, which is negligible within tREFW).
+	if s.disturb > 0 {
+		need := margin / rp.dmax // hammers to flip the weakest cell
+		if s.disturb >= need {
+			x := need / s.disturb // in (0,1]: weakest cell at x=1 flips alone
+			frac := 1 - math.Pow(x, 1/rp.kshape)
+			disturb = int(frac * float64(c.p.CellsPerRow))
+			if disturb < 1 {
+				disturb = 1
+			}
+		}
+	}
+	return retention, disturb
+}
+
+// cellRetFailures estimates how many cells of the row have retention
+// time under elapsedMs, given the weakest cell sits at weakestMs and
+// within-row retention spreads lognormally upward from it.
+func (c *Chip) cellRetFailures(rp *rowParams, weakestMs, elapsedMs float64) int {
+	if weakestMs <= 0 {
+		return c.p.CellsPerRow / 2
+	}
+	// Cells other than the weakest have retention weakestMs *
+	// LogNormal(mu=4*spread, sigma=spread) — i.e. typically much
+	// longer. Fraction failing = Phi((ln(elapsed/weakest) - mu)/sigma).
+	sig := c.p.CellRetSpread
+	mu := 4 * sig
+	z := (math.Log(elapsedMs/weakestMs) - mu) / sig
+	frac := 0.5 * math.Erfc(-z/math.Sqrt2)
+	n := int(frac * float64(c.p.CellsPerRow))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Bitflips returns the total flipped cells in row r (retention plus
+// disturbance), matching what a test program reads back by comparing
+// the row against its written pattern.
+func (c *Chip) Bitflips(r int) int {
+	ret, dis := c.BitflipCounts(r)
+	return ret + dis
+}
+
+// WeakestNRH returns the model's analytic RowHammer threshold for row
+// r under the given restoration latency and consecutive-restoration
+// count, using the row's worst-case data pattern, with a wait of
+// waitMs between hammering and readout. This is the ground truth the
+// measured (bisection) NRH should approximate; exposed for tests and
+// for fast experiment variants.
+func (c *Chip) WeakestNRH(r int, trasNs float64, npr int, waitMs float64) int {
+	rp := c.row(r)
+	v0 := c.p.RestoreLevel(trasNs, npr)
+	margin := v0 - c.p.VTh
+	if margin <= 0 {
+		return 0
+	}
+	retTimeMs := rp.retMs * c.tempRet() * margin / (c.p.VFull - c.p.VTh)
+	if retTimeMs < waitMs {
+		return 0 // retention failure without hammering
+	}
+	nrh := margin / (rp.dmax * c.tempDisturb())
+	return int(nrh)
+}
+
+// WorstPattern returns the row's worst-case data pattern (the one the
+// WCDP search of Alg. 1 should find).
+func (c *Chip) WorstPattern(r int) DataPattern { return c.row(r).worstDP }
+
+// ResetState clears all dynamic row state (as if the module were
+// power-cycled) without changing process variation.
+func (c *Chip) ResetState() {
+	c.states = make(map[int]*rowState)
+	c.now = 0
+}

@@ -1,0 +1,346 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.Rows = 64
+	p.CellsPerRow = 512
+	return p
+}
+
+func TestNewChipRejectsInvalidParams(t *testing.T) {
+	p := testParams()
+	p.VShare = 0.9 // > VTh
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChip must panic on invalid params")
+		}
+	}()
+	NewChip(p)
+}
+
+func TestRestoreLevelMonotoneInTRAS(t *testing.T) {
+	p := testParams()
+	prev := -1.0
+	for tras := 1.0; tras <= 40; tras += 0.5 {
+		v := p.RestoreLevel(tras, 1)
+		if v < prev {
+			t.Fatalf("restore level not monotone at tras=%g: %g < %g", tras, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRestoreLevelNominalIsNearFull(t *testing.T) {
+	p := testParams()
+	v := p.RestoreLevel(p.TRASNom, 1)
+	if v < 0.99*p.VFull {
+		t.Fatalf("nominal restore level %g too low", v)
+	}
+}
+
+func TestRestoreLevelDegradesWithRepeats(t *testing.T) {
+	p := testParams()
+	p.Eta = 0.05
+	v1 := p.RestoreLevel(12, 1)
+	v5 := p.RestoreLevel(12, 5)
+	v100 := p.RestoreLevel(12, 100)
+	if !(v100 <= v5 && v5 <= v1) {
+		t.Fatalf("repeat degradation not monotone: %g %g %g", v1, v5, v100)
+	}
+	// With Eta = 0 repeats have no effect.
+	p.Eta = 0
+	if p.RestoreLevel(12, 1) != p.RestoreLevel(12, 1000) {
+		t.Fatal("Eta=0 must make repeats a no-op")
+	}
+}
+
+func TestRestoreLevelNeverNegative(t *testing.T) {
+	p := testParams()
+	p.Eta = 10
+	f := func(tras uint16, k uint16) bool {
+		v := p.RestoreLevel(float64(tras%50), int(k)+1)
+		return v >= 0 && v <= p.VFull
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowParamsDeterministic(t *testing.T) {
+	a, b := NewChip(testParams()), NewChip(testParams())
+	for r := 0; r < 10; r++ {
+		ra, rb := a.row(r), b.row(r)
+		if ra.dmax != rb.dmax || ra.retMs != rb.retMs || ra.worstDP != rb.worstDP {
+			t.Fatalf("row %d params not deterministic", r)
+		}
+	}
+}
+
+func TestRowOutOfRangePanics(t *testing.T) {
+	c := NewChip(testParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range row must panic")
+		}
+	}()
+	c.InitRow(c.Rows(), PatRowStripe)
+}
+
+func TestNoFlipsWithoutHammering(t *testing.T) {
+	c := NewChip(testParams())
+	c.InitRow(3, PatCheckerboard)
+	c.Advance(64e6) // one tREFW
+	if n := c.Bitflips(3); n != 0 {
+		t.Fatalf("fresh row flipped %d cells within tREFW", n)
+	}
+}
+
+func TestHammeringCausesFlipsAboveNRH(t *testing.T) {
+	c := NewChip(testParams())
+	const row = 5
+	dp := c.WorstPattern(row)
+	nrh := c.WeakestNRH(row, c.p.TRASNom, 1, 64)
+	if nrh <= 0 || nrh > 100000 {
+		t.Fatalf("unexpected analytic NRH %d", nrh)
+	}
+
+	c.InitRow(row, dp)
+	c.HammerDoubleSided(row, nrh/2, c.p.TRASNom, 46)
+	c.Advance(64e6)
+	if n := c.Bitflips(row); n != 0 {
+		t.Fatalf("hammering at NRH/2 flipped %d cells", n)
+	}
+
+	c.InitRow(row, dp)
+	c.HammerDoubleSided(row, nrh*2, c.p.TRASNom, 46)
+	c.Advance(64e6)
+	if n := c.Bitflips(row); n == 0 {
+		t.Fatal("hammering at 2*NRH flipped nothing")
+	}
+}
+
+func TestWorstPatternFlipsMost(t *testing.T) {
+	c := NewChip(testParams())
+	const row = 9
+	worst := c.WorstPattern(row)
+	nrh := c.WeakestNRH(row, c.p.TRASNom, 1, 64)
+	hc := nrh * 3
+	flips := make(map[DataPattern]int)
+	for _, dp := range AllPatterns() {
+		c.ResetState()
+		c.InitRow(row, dp)
+		c.HammerDoubleSided(row, hc, c.p.TRASNom, 46)
+		c.Advance(64e6)
+		flips[dp] = c.Bitflips(row)
+	}
+	for dp, n := range flips {
+		if n > flips[worst] {
+			t.Fatalf("pattern %v flipped %d > worst %v's %d", dp, n, worst, flips[worst])
+		}
+	}
+}
+
+func TestReducedTRASLowersNRH(t *testing.T) {
+	p := testParams()
+	p.TauR = 4 // Mfr. S-like: modest guardband
+	c := NewChip(p)
+	prev := 1 << 30
+	for _, f := range []float64{1.0, 0.81, 0.64, 0.45, 0.36} {
+		nrh := c.WeakestNRH(2, f*p.TRASNom, 1, 64)
+		if nrh > prev {
+			t.Fatalf("NRH increased when tRAS reduced to %g: %d > %d", f, nrh, prev)
+		}
+		prev = nrh
+	}
+}
+
+func TestGuardbandKeepsNRHFlat(t *testing.T) {
+	p := testParams()
+	p.T0, p.TauR = 4, 0.8 // large guardband (Mfr. H/M-like)
+	c := NewChip(p)
+	nom := c.WeakestNRH(2, p.TRASNom, 1, 64)
+	red := c.WeakestNRH(2, 0.45*p.TRASNom, 1, 64)
+	if nom == 0 {
+		t.Fatal("nominal NRH zero")
+	}
+	drop := 1 - float64(red)/float64(nom)
+	if drop > 0.03 {
+		t.Fatalf("guardbanded module lost %.1f%% NRH at 0.45 tRAS", 100*drop)
+	}
+}
+
+func TestVeryLowTRASCausesRetentionFailure(t *testing.T) {
+	p := testParams()
+	p.T0, p.TauR = 5.5, 0.8
+	c := NewChip(p)
+	// Below T0 the cell barely restores: NRH must be 0 (retention
+	// bitflips without hammering).
+	if nrh := c.WeakestNRH(2, 3.0, 1, 64); nrh != 0 {
+		t.Fatalf("NRH=%d at tRAS below dead time, want 0", nrh)
+	}
+}
+
+func TestRepeatedPartialRestoreReducesNRH(t *testing.T) {
+	p := testParams()
+	p.Eta = 0.02
+	p.TauR = 4
+	c := NewChip(p)
+	n1 := c.WeakestNRH(1, 12, 1, 64)
+	n1k := c.WeakestNRH(1, 12, 1000, 64)
+	if n1k > n1 {
+		t.Fatalf("NRH grew with repeated partials: %d > %d", n1k, n1)
+	}
+	if n1 == 0 {
+		t.Fatal("single partial restore already fails; test misconfigured")
+	}
+}
+
+func TestRestoreStateMachine(t *testing.T) {
+	c := NewChip(testParams())
+	c.InitRow(1, PatRowStripe)
+	s := c.state(1)
+	c.Restore(1, 12) // partial
+	if s.partials != 1 {
+		t.Fatalf("partials=%d after one partial restore", s.partials)
+	}
+	c.Restore(1, 12)
+	if s.partials != 2 {
+		t.Fatalf("partials=%d after two partial restores", s.partials)
+	}
+	c.Restore(1, c.p.TRASNom) // full resets
+	if s.partials != 0 {
+		t.Fatalf("partials=%d after full restore, want 0", s.partials)
+	}
+}
+
+func TestRestoreHealsDisturbance(t *testing.T) {
+	c := NewChip(testParams())
+	const row = 4
+	dp := c.WorstPattern(row)
+	nrh := c.WeakestNRH(row, c.p.TRASNom, 1, 64)
+	c.InitRow(row, dp)
+	c.HammerDoubleSided(row, nrh*2, c.p.TRASNom, 46)
+	c.Restore(row, c.p.TRASNom) // preventive refresh
+	c.Advance(60e6)
+	if n := c.Bitflips(row); n != 0 {
+		t.Fatalf("preventive refresh did not heal disturbance: %d flips", n)
+	}
+}
+
+func TestHalfDoubleNeedsD2Coupling(t *testing.T) {
+	p := testParams()
+	p.D2Ratio = 0 // Mfr. S: no Half-Double bitflips
+	c := NewChip(p)
+	const row = 7
+	c.InitRow(row, c.WorstPattern(row))
+	c.HammerSingle(row, 2, 500000, p.TRASNom, 46)
+	c.HammerSingle(row, 1, 100, p.TRASNom, 46)
+	if ret, dis := c.BitflipCounts(row); dis != 0 {
+		t.Fatalf("D2Ratio=0 module showed %d HD disturb flips (ret=%d)", dis, ret)
+	}
+}
+
+func TestTemperatureShortensRetention(t *testing.T) {
+	c := NewChip(testParams())
+	c.SetTemperature(50)
+	cold := c.tempRet()
+	c.SetTemperature(80)
+	hot := c.tempRet()
+	if cold <= hot {
+		t.Fatalf("retention multiplier must shrink with temperature: 50C=%g 80C=%g", cold, hot)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	c := NewChip(testParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance must panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestBitflipsMonotoneInHammerCount(t *testing.T) {
+	c := NewChip(testParams())
+	const row = 11
+	dp := c.WorstPattern(row)
+	nrh := c.WeakestNRH(row, c.p.TRASNom, 1, 64)
+	prev := -1
+	for _, hc := range []int{nrh, nrh * 2, nrh * 4, nrh * 8} {
+		c.ResetState()
+		c.InitRow(row, dp)
+		c.HammerDoubleSided(row, hc, c.p.TRASNom, 46)
+		c.Advance(64e6)
+		n := c.Bitflips(row)
+		if n < prev {
+			t.Fatalf("bitflips not monotone in hammer count: %d after %d", n, prev)
+		}
+		prev = n
+	}
+	if prev <= 1 {
+		t.Fatalf("BER tail too flat: only %d flips at 8x NRH", prev)
+	}
+}
+
+func TestMeasuredMatchesAnalyticNRH(t *testing.T) {
+	// The closed-form WeakestNRH and the stateful path must agree:
+	// hammering exactly at NRH-1 is safe, at NRH+1 flips.
+	c := NewChip(testParams())
+	for row := 4; row < 12; row++ {
+		dp := c.WorstPattern(row)
+		nrh := c.WeakestNRH(row, c.p.TRASNom, 1, 64)
+		c.ResetState()
+		c.InitRow(row, dp)
+		c.HammerDoubleSided(row, nrh-1, c.p.TRASNom, 46)
+		c.Advance(64e6)
+		safe := c.Bitflips(row)
+		c.ResetState()
+		c.InitRow(row, dp)
+		c.HammerDoubleSided(row, nrh+1, c.p.TRASNom, 46)
+		c.Advance(64e6)
+		flip := c.Bitflips(row)
+		if safe != 0 || flip == 0 {
+			t.Fatalf("row %d: NRH=%d but safe=%d flips=%d", row, nrh, safe, flip)
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	if PatRowStripe.String() != "RS" || PatColStripeInv.String() != "CSI" {
+		t.Fatal("pattern names wrong")
+	}
+	if DataPattern(99).String() != "??" {
+		t.Fatal("out-of-range pattern name")
+	}
+	if len(AllPatterns()) != NumDataPatterns {
+		t.Fatal("AllPatterns length mismatch")
+	}
+}
+
+func BenchmarkHammerClosedForm(b *testing.B) {
+	c := NewChip(testParams())
+	c.InitRow(0, PatRowStripe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.HammerDoubleSided(0, 100000, c.p.TRASNom, 46)
+		c.Restore(0, c.p.TRASNom)
+	}
+}
+
+func BenchmarkBitflipReadback(b *testing.B) {
+	c := NewChip(testParams())
+	c.InitRow(0, c.WorstPattern(0))
+	c.HammerDoubleSided(0, 50000, c.p.TRASNom, 46)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += c.Bitflips(0)
+	}
+	_ = sink
+}

@@ -1,0 +1,161 @@
+package device
+
+import "fmt"
+
+// Params captures the physical parameters of one DRAM module's chips.
+// A module profile in internal/chips produces a Params calibrated so
+// the *measured* characterization (via internal/bender + Algorithm 1)
+// reproduces the module's row in the paper's Appendix C Tables 3-4.
+type Params struct {
+	Name string
+
+	// Geometry of the modeled bank under test.
+	Rows        int // rows in the tested bank
+	CellsPerRow int // representative cells modeled per row (BER is a fraction, so scale-free)
+
+	// Charge restoration: activating a row charge-shares the cell down
+	// to VShare, then the sense amplifier restores it toward VFull
+	// along an exponential ramp with dead time T0 and time constant
+	// TauR (both ns). The nominal tRAS is TRASNom.
+	TRASNom float64
+	VFull   float64
+	VShare  float64
+	VTh     float64 // sensing threshold; a cell below this reads wrong
+	T0      float64
+	TauR    float64
+
+	// Repeated partial charge restoration leaves a residual deficit
+	// that accumulates: after k consecutive partial restores the
+	// deficit is D(t) * (1 + Eta*D(t)*min(k-1, EtaSat)^EtaAlpha).
+	// The extra D(t) factor makes the degradation sharply worse at
+	// lower tRAS, matching the paper's Table 4 where the safe
+	// consecutive-restore budget (NPCR) collapses from 15K to single
+	// digits within one tRAS step. Mfr. H/M profiles have Eta ~ 0
+	// (flat in Figs. 11-12); Mfr. S profiles have Eta > 0.
+	Eta      float64
+	EtaAlpha float64
+	EtaSat   int
+
+	// Read disturbance. DMaxMed/DMaxSigma parameterize the lognormal
+	// distribution (across rows) of the weakest cell's charge loss per
+	// double-sided hammer; KShape controls how steeply the other cells
+	// of the row are less sensitive (larger = steeper, lower BER).
+	DMaxMed    float64
+	DMaxSigma  float64
+	KShapeMean float64
+	KShapeSD   float64
+
+	// Distance-2 (Half-Double) coupling as a fraction of distance-1.
+	// Zero disables Half-Double bitflips (the paper's Mfr. S modules).
+	D2Ratio float64
+	// PressCoeff scales how much of the per-activation disturbance is
+	// proportional to how long the aggressor row stays open (the
+	// RowPress component); the rest is activation-count driven.
+	PressCoeff float64
+
+	// Retention. RetMedMs/RetSigma parameterize the lognormal
+	// distribution (across rows) of the weakest cell's retention time
+	// in ms at full charge (time to leak VFull-VTh).
+	RetMedMs float64
+	RetSigma float64
+	// CellRetSpread is the lognormal sigma of cell retention within a
+	// row relative to the row's weakest cell (used for counting how
+	// many cells fail, not just whether any fails).
+	CellRetSpread float64
+
+	// Temperature sensitivities around the 80C reference point.
+	TempRef          float64 // reference temperature (C)
+	TempCoeffDisturb float64 // relative disturb change per C
+	RetHalvingC      float64 // retention halves every this many C
+
+	Seed uint64
+}
+
+// DefaultParams returns a generic, internally consistent parameter set
+// (roughly a Mfr. H-like module with a 10K nominal NRH).
+func DefaultParams() Params {
+	return Params{
+		Name:             "generic",
+		Rows:             1024,
+		CellsPerRow:      1024,
+		TRASNom:          33.0,
+		VFull:            1.0,
+		VShare:           0.45,
+		VTh:              0.5,
+		T0:               5.0,
+		TauR:             1.5,
+		Eta:              0.0,
+		EtaAlpha:         0.5,
+		EtaSat:           1 << 20,
+		DMaxMed:          0.5 / 18000,
+		DMaxSigma:        0.22,
+		KShapeMean:       4.0,
+		KShapeSD:         0.5,
+		D2Ratio:          0.02,
+		PressCoeff:       0.5,
+		RetMedMs:         30000,
+		RetSigma:         0.9,
+		CellRetSpread:    0.35,
+		TempRef:          80,
+		TempCoeffDisturb: 0.002,
+		RetHalvingC:      10,
+		Seed:             1,
+	}
+}
+
+// Validate checks internal consistency of the parameter set.
+func (p Params) Validate() error {
+	switch {
+	case p.Rows <= 0:
+		return fmt.Errorf("device: %s: Rows must be positive", p.Name)
+	case p.CellsPerRow <= 0:
+		return fmt.Errorf("device: %s: CellsPerRow must be positive", p.Name)
+	case p.TRASNom <= 0:
+		return fmt.Errorf("device: %s: TRASNom must be positive", p.Name)
+	case !(p.VShare < p.VTh && p.VTh < p.VFull):
+		return fmt.Errorf("device: %s: need VShare < VTh < VFull, got %g/%g/%g",
+			p.Name, p.VShare, p.VTh, p.VFull)
+	case p.TauR <= 0:
+		return fmt.Errorf("device: %s: TauR must be positive", p.Name)
+	case p.T0 < 0 || p.T0 >= p.TRASNom:
+		return fmt.Errorf("device: %s: T0 must be in [0, TRASNom)", p.Name)
+	case p.DMaxMed <= 0:
+		return fmt.Errorf("device: %s: DMaxMed must be positive", p.Name)
+	case p.Eta < 0 || p.EtaAlpha < 0:
+		return fmt.Errorf("device: %s: Eta/EtaAlpha must be non-negative", p.Name)
+	case p.RetMedMs <= 0:
+		return fmt.Errorf("device: %s: RetMedMs must be positive", p.Name)
+	case p.KShapeMean <= 0:
+		return fmt.Errorf("device: %s: KShapeMean must be positive", p.Name)
+	}
+	return nil
+}
+
+// RestoreLevel returns the weakest-cell charge level reached by holding
+// the row open for trasNs, after k consecutive partial restorations
+// (k >= 1 counts this restoration). This is the model's central
+// quantity: the paper's Figs. 6-12 all derive from it.
+func (p Params) RestoreLevel(trasNs float64, k int) float64 {
+	deficit := p.deficit(trasNs)
+	if k > 1 && p.Eta > 0 {
+		n := k - 1
+		if n > p.EtaSat {
+			n = p.EtaSat
+		}
+		deficit *= 1 + p.Eta*deficit*powf(float64(n), p.EtaAlpha)
+	}
+	v := p.VFull - deficit
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// deficit returns VFull minus the single-restore level for trasNs.
+func (p Params) deficit(trasNs float64) float64 {
+	eff := trasNs - p.T0
+	if eff < 0 {
+		eff = 0
+	}
+	return (p.VFull - p.VShare) * expNeg(eff/p.TauR)
+}

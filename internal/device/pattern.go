@@ -1,0 +1,46 @@
+// Package device implements the physical model of a DRAM chip used in
+// place of the paper's 388 real DDR4 chips: per-row charge state with a
+// sense-amplifier restoration ramp, charge leakage, read disturbance
+// (distance-1 and distance-2 for the Half-Double pattern), data-pattern
+// coupling, temperature sensitivity, and cumulative degradation under
+// repeated partial charge restoration.
+//
+// The model is evaluated in closed form: hammering a row N times is a
+// single arithmetic step, not N events, so the bisection search of the
+// paper's Algorithm 1 runs in microseconds per probe. DESIGN.md §3
+// documents the model and why it preserves the behaviours the paper
+// measures.
+package device
+
+// DataPattern enumerates the six data patterns the paper's methodology
+// initializes victim and aggressor rows with before hammering (§4.3).
+type DataPattern uint8
+
+const (
+	PatRowStripe    DataPattern = iota // 0xFF / 0x00
+	PatRowStripeInv                    // 0x00 / 0xFF
+	PatCheckerboard                    // 0xAA / 0x55
+	PatCheckerInv                      // 0x55 / 0xAA
+	PatColStripe                       // 0xAA / 0xAA
+	PatColStripeInv                    // 0x55 / 0x55
+
+	NumDataPatterns = 6
+)
+
+var patternNames = [NumDataPatterns]string{"RS", "RSI", "CB", "CBI", "CS", "CSI"}
+
+// String returns the short name used in Alg. 1 of the paper.
+func (p DataPattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return "??"
+}
+
+// AllPatterns lists every data pattern in a fixed order.
+func AllPatterns() []DataPattern {
+	return []DataPattern{
+		PatRowStripe, PatRowStripeInv, PatCheckerboard,
+		PatCheckerInv, PatColStripe, PatColStripeInv,
+	}
+}

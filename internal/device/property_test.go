@@ -1,0 +1,181 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacram/internal/xrand"
+)
+
+// property_test.go holds testing/quick invariants over the physical
+// model: monotonicities that every experiment implicitly relies on.
+
+func TestNRHMonotoneInTRASProperty(t *testing.T) {
+	c := NewChip(testParams())
+	f := func(row uint8, a, b uint16) bool {
+		r := int(row) % c.Rows()
+		t1 := 6 + float64(a%270)/10 // 6..33 ns
+		t2 := 6 + float64(b%270)/10
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return c.WeakestNRH(r, t1, 1, 64) <= c.WeakestNRH(r, t2, 1, 64)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRHMonotoneInRepeatsProperty(t *testing.T) {
+	p := testParams()
+	p.Eta = 0.5
+	c := NewChip(p)
+	f := func(row uint8, k1, k2 uint16) bool {
+		r := int(row) % c.Rows()
+		a, b := int(k1)%5000+1, int(k2)%5000+1
+		if a > b {
+			a, b = b, a
+		}
+		return c.WeakestNRH(r, 12, b, 64) <= c.WeakestNRH(r, 12, a, 64)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRHMonotoneInWaitProperty(t *testing.T) {
+	// Longer retention waits can only reduce (or zero) the threshold.
+	c := NewChip(testParams())
+	f := func(row uint8, w1, w2 uint16) bool {
+		r := int(row) % c.Rows()
+		a, b := float64(w1%2000)+1, float64(w2%2000)+1
+		if a > b {
+			a, b = b, a
+		}
+		return c.WeakestNRH(r, 15, 1, b) <= c.WeakestNRH(r, 15, 1, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitflipsNeverNegativeProperty(t *testing.T) {
+	c := NewChip(testParams())
+	f := func(row uint8, hc uint32, tras uint8, wait uint32) bool {
+		r := int(row) % c.Rows()
+		c.ResetState()
+		c.InitRow(r, PatCheckerboard)
+		c.HammerDoubleSided(r, int(hc%300000), 6+float64(tras%28), 46)
+		c.Advance(float64(wait % 100e6))
+		ret, dis := c.BitflipCounts(r)
+		return ret >= 0 && dis >= 0 && ret+dis <= c.Params().CellsPerRow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPressFactorMonotone(t *testing.T) {
+	c := NewChip(testParams())
+	prev := 0.0
+	for open := 1.0; open <= 200; open += 5 {
+		pf := c.pressFactor(open)
+		if pf < prev {
+			t.Fatalf("press factor not monotone at %gns", open)
+		}
+		prev = pf
+	}
+	// And it saturates (RowPress effect caps).
+	if c.pressFactor(1e6) != c.pressFactor(4*c.p.TRASNom) {
+		t.Fatal("press factor must saturate")
+	}
+}
+
+func TestActivateAccountsTime(t *testing.T) {
+	c := NewChip(testParams())
+	start := c.Now()
+	c.Activate(5, 33, 1000, 46)
+	if got := c.Now() - start; got != 46000 {
+		t.Fatalf("1000 activations at 46ns advanced %gns", got)
+	}
+}
+
+func TestActivateDisturbsBothDistances(t *testing.T) {
+	p := testParams()
+	p.D2Ratio = 0.5 // exaggerate distance-2 coupling
+	c := NewChip(p)
+	c.InitRow(10, PatRowStripe) // distance 1 from the aggressor
+	c.InitRow(9, PatRowStripe)  // distance 2
+	c.InitRow(14, PatRowStripe) // distance 3: must stay untouched
+	c.Activate(11, 33, 5000, 46)
+	if c.states[10].disturb == 0 {
+		t.Fatal("distance-1 victim undisturbed")
+	}
+	if c.states[9].disturb == 0 {
+		t.Fatal("distance-2 victim undisturbed with D2Ratio > 0")
+	}
+	if c.states[10].disturb <= c.states[9].disturb {
+		t.Fatal("distance-1 disturbance must exceed distance-2")
+	}
+	if c.states[14].disturb != 0 {
+		t.Fatal("distance-3 row disturbed")
+	}
+}
+
+func TestDeterministicAcrossChipInstances(t *testing.T) {
+	f := func(row uint8, hc uint16) bool {
+		mk := func() int {
+			c := NewChip(testParams())
+			r := int(row) % c.Rows()
+			c.InitRow(r, PatColStripe)
+			c.HammerDoubleSided(r, int(hc), 33, 46)
+			c.Advance(64e6)
+			return c.Bitflips(r)
+		}
+		return mk() == mk()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowVariationIsSpread(t *testing.T) {
+	// Process variation must produce a genuine distribution: across
+	// rows, NRH values are not all identical.
+	c := NewChip(testParams())
+	seen := map[int]bool{}
+	for r := 0; r < 32; r++ {
+		seen[c.WeakestNRH(r, 33, 1, 64)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct NRH values across 32 rows", len(seen))
+	}
+}
+
+func TestSeedChangesVariation(t *testing.T) {
+	p1 := testParams()
+	p2 := testParams()
+	p2.Seed = p1.Seed + 1
+	a, b := NewChip(p1), NewChip(p2)
+	same := 0
+	for r := 0; r < 16; r++ {
+		if a.WeakestNRH(r, 33, 1, 64) == b.WeakestNRH(r, 33, 1, 64) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("different seeds produced identical chips")
+	}
+}
+
+func TestZipfGeneratorSmallN(t *testing.T) {
+	// Regression guard for the zeta tail approximation: tiny ranges
+	// must still be exact.
+	r := xrand.New(1)
+	z := xrand.NewZipf(3, 0.9)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(r); v < 0 || v >= 3 {
+			t.Fatalf("Zipf(3) out of range: %d", v)
+		}
+	}
+}

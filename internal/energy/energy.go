@@ -1,0 +1,79 @@
+// Package energy estimates DRAM energy from memory-controller
+// statistics, in the style of DRAMPower's IDD-based accounting: row
+// activation/precharge energy with a restoration-time-dependent term
+// (the component PaCRAM shrinks), column burst energy, refresh energy
+// proportional to refresh duration, and background power. Absolute
+// joules are approximate; the paper's Figs. 18-19 compare normalized
+// energies, which depend only on the relative terms.
+package energy
+
+import (
+	"fmt"
+
+	"pacram/internal/ddr"
+	"pacram/internal/memsys"
+)
+
+// Model holds per-operation energy coefficients (nJ and W).
+type Model struct {
+	// ActPreBaseNJ is the fixed part of an ACT+PRE pair (charge
+	// sharing, decoding, precharge).
+	ActPreBaseNJ float64
+	// RestorePerNsNJ is the restoration current term: energy per ns
+	// the sense amplifiers drive the row.
+	RestorePerNsNJ float64
+	// ReadNJ / WriteNJ are per-burst column energies.
+	ReadNJ, WriteNJ float64
+	// RefPerNsNJ is the refresh current term per ns of tRFC (a REF
+	// restores many rows concurrently).
+	RefPerNsNJ float64
+	// BackgroundWPerRank is standby power per rank.
+	BackgroundWPerRank float64
+}
+
+// Default returns DDR5-class coefficients.
+func Default() Model {
+	return Model{
+		ActPreBaseNJ:       6.0,
+		RestorePerNsNJ:     0.20,
+		ReadNJ:             12.0,
+		WriteNJ:            13.0,
+		RefPerNsNJ:         1.0,
+		BackgroundWPerRank: 0.12,
+	}
+}
+
+// Breakdown is the energy decomposition in joules.
+type Breakdown struct {
+	ActPre      float64
+	Column      float64
+	Refresh     float64
+	PrevRefresh float64
+	Background  float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.ActPre + b.Column + b.Refresh + b.PrevRefresh + b.Background
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("act/pre %.3gJ col %.3gJ ref %.3gJ prevref %.3gJ bg %.3gJ total %.3gJ",
+		b.ActPre, b.Column, b.Refresh, b.PrevRefresh, b.Background, b.Total())
+}
+
+// Compute derives the energy breakdown from controller statistics.
+func (m Model) Compute(st memsys.Stats, t ddr.Timing, cpuGHz float64, ranks int) Breakdown {
+	nj := 1e-9
+	var b Breakdown
+	b.ActPre = float64(st.Acts) * (m.ActPreBaseNJ + m.RestorePerNsNJ*t.TRAS) * nj
+	b.Column = (float64(st.Reads)*m.ReadNJ + float64(st.Writes)*m.WriteNJ) * nj
+	b.Refresh = m.RefPerNsNJ * st.RefRestoreNs * nj
+	// Preventive refreshes: per-VRR fixed cost plus the actual
+	// restoration time spent (reduced under PaCRAM).
+	b.PrevRefresh = (float64(st.VRRs)*m.ActPreBaseNJ + m.RestorePerNsNJ*st.VRRRestoreNs) * nj
+	seconds := float64(st.Cycles) / (cpuGHz * 1e9)
+	b.Background = m.BackgroundWPerRank * float64(ranks) * seconds
+	return b
+}

@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"pacram/internal/ddr"
+	"pacram/internal/memsys"
+)
+
+func sampleStats() memsys.Stats {
+	return memsys.Stats{
+		Cycles:       3_200_000, // 1ms at 3.2GHz
+		Acts:         1000,
+		Reads:        5000,
+		Writes:       2000,
+		Refs:         128,
+		VRRs:         400,
+		VRRRestoreNs: 400 * 32.0,
+		RefRestoreNs: 128 * 195.0,
+	}
+}
+
+func TestComputeBreakdownPositive(t *testing.T) {
+	b := Default().Compute(sampleStats(), ddr.DDR5(), 3.2, 2)
+	for name, v := range map[string]float64{
+		"actpre": b.ActPre, "column": b.Column, "refresh": b.Refresh,
+		"prevref": b.PrevRefresh, "background": b.Background,
+	} {
+		if v <= 0 {
+			t.Fatalf("component %s not positive: %g", name, v)
+		}
+	}
+	if b.Total() <= b.Background {
+		t.Fatal("total should exceed background alone")
+	}
+}
+
+func TestReducedRestorationSavesEnergy(t *testing.T) {
+	st := sampleStats()
+	nominal := Default().Compute(st, ddr.DDR5(), 3.2, 2)
+
+	st.VRRRestoreNs = 400 * 32.0 * 0.36 // PaCRAM at 0.36 tRAS
+	reduced := Default().Compute(st, ddr.DDR5(), 3.2, 2)
+
+	if reduced.PrevRefresh >= nominal.PrevRefresh {
+		t.Fatal("reduced restoration did not save preventive-refresh energy")
+	}
+	if reduced.ActPre != nominal.ActPre || reduced.Column != nominal.Column {
+		t.Fatal("unrelated components changed")
+	}
+}
+
+func TestMoreVRRsCostMore(t *testing.T) {
+	st := sampleStats()
+	base := Default().Compute(st, ddr.DDR5(), 3.2, 2)
+	st.VRRs *= 4
+	st.VRRRestoreNs *= 4
+	heavy := Default().Compute(st, ddr.DDR5(), 3.2, 2)
+	if heavy.PrevRefresh <= base.PrevRefresh {
+		t.Fatal("4x preventive refreshes must cost more energy")
+	}
+}
+
+func TestBackgroundScalesWithTimeAndRanks(t *testing.T) {
+	st := sampleStats()
+	oneRank := Default().Compute(st, ddr.DDR5(), 3.2, 1)
+	twoRanks := Default().Compute(st, ddr.DDR5(), 3.2, 2)
+	if twoRanks.Background <= oneRank.Background {
+		t.Fatal("background must scale with ranks")
+	}
+	st.Cycles *= 2
+	longer := Default().Compute(st, ddr.DDR5(), 3.2, 1)
+	if longer.Background <= oneRank.Background {
+		t.Fatal("background must scale with time")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Default().Compute(sampleStats(), ddr.DDR5(), 3.2, 2)
+	if !strings.Contains(b.String(), "total") {
+		t.Fatal("String() missing total")
+	}
+}

@@ -1,0 +1,548 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func tinyChar() CharOptions {
+	o := DefaultCharOptions()
+	o.Rows = 8
+	return o
+}
+
+func tinySys() SysOptions {
+	o := DefaultSysOptions()
+	o.Workloads = []string{"429.mcf", "453.povray"}
+	o.MixCount = 1
+	o.Instructions = 15_000
+	o.Warmup = 1_500
+	o.NRHs = []int{256}
+	return o
+}
+
+func findRows(t *Table, match func(row []string) bool) [][]string {
+	var out [][]string
+	for _, r := range t.Rows {
+		if match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func cellF(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("cell %d of %v not a float: %v", i, row, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow("one", 1.5)
+	tbl.AddRow("two", 12345.0)
+	tbl.Notes = append(tbl.Notes, "a note")
+	var txt, csv bytes.Buffer
+	if err := tbl.Fprint(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "demo") || !strings.Contains(txt.String(), "a note") {
+		t.Fatalf("text rendering missing pieces:\n%s", txt.String())
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n") {
+		t.Fatalf("csv header wrong: %q", csv.String())
+	}
+	if !strings.Contains(csv.String(), "one,1.5000") {
+		t.Fatalf("csv body wrong: %q", csv.String())
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	tbl, err := Table1(tinyChar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 30 {
+		t.Fatalf("table1 has %d rows, want 30", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Notes[0], "388 chips") {
+		t.Fatalf("note: %v", tbl.Notes)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"H5", "M2", "S6"}
+	tbl, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mfr. S medians must decline as tRAS drops; Mfr. M stays ~1.
+	var sNom, sLow, mLow float64 = -1, -1, -1
+	for _, r := range tbl.Rows {
+		switch {
+		case r[0] == "S" && r[1] == "1.0000":
+			sNom = cellF(t, r, 4)
+		case r[0] == "S" && r[1] == "0.4500":
+			sLow = cellF(t, r, 4)
+		case r[0] == "M" && r[1] == "0.2700":
+			mLow = cellF(t, r, 4)
+		}
+	}
+	if sNom < 0 || sLow < 0 || mLow < 0 {
+		t.Fatalf("expected rows missing:\n%v", tbl.Rows)
+	}
+	if sLow >= sNom {
+		t.Fatalf("Mfr. S median did not decline: %.2f -> %.2f", sNom, sLow)
+	}
+	if mLow < 0.95 {
+		t.Fatalf("Mfr. M median at 0.27 = %.2f, want ~1", mLow)
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"S6"}
+	t7, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) == 0 {
+		t.Fatal("fig7 empty")
+	}
+	o.Modules = nil
+	t8, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) == 0 {
+		t.Fatal("fig8 empty")
+	}
+	for _, r := range t8.Rows {
+		if ratio := cellF(t, r, 3); ratio <= 0 || ratio > 1.3 {
+			t.Fatalf("fig8 ratio %g out of range in %v", ratio, r)
+		}
+	}
+}
+
+func TestFig9BERGrows(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"S6"}
+	tbl, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nom, low float64 = -1, -1
+	for _, r := range tbl.Rows {
+		if r[0] == "S" && r[1] == "1.0000" {
+			nom = cellF(t, r, 4)
+		}
+		if r[0] == "S" && r[1] == "0.3600" {
+			low = cellF(t, r, 4)
+		}
+	}
+	if low <= nom {
+		t.Fatalf("S BER median did not grow as tRAS dropped: %.2f -> %.2f", nom, low)
+	}
+}
+
+func TestFig11RepeatsHurtS(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"S6"}
+	tbl, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one, five float64 = -1, -1
+	for _, r := range tbl.Rows {
+		if r[0] == "S" && r[1] == "0.2700" && r[2] == "1" {
+			one = cellF(t, r, 5)
+		}
+		if r[0] == "S" && r[1] == "0.2700" && r[2] == "5" {
+			five = cellF(t, r, 5)
+		}
+	}
+	if one < 0 || five < 0 {
+		t.Fatal("fig11 rows missing")
+	}
+	if five > one {
+		t.Fatalf("S6@0.27: NRH median grew with repeats: %.2f -> %.2f", one, five)
+	}
+}
+
+func TestFig12Table(t *testing.T) {
+	o := tinyChar()
+	tbl, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S6 must reach 0 (retention failures) by 15K restores at 0.36;
+	// M2 must not.
+	var s15k, m15k float64 = -1, -1
+	for _, r := range tbl.Rows {
+		if r[0] == "S6" && r[1] == "15000" {
+			s15k = cellF(t, r, 4) // median
+		}
+		if r[0] == "M2" && r[1] == "15000" {
+			m15k = cellF(t, r, 4)
+		}
+	}
+	if s15k != 0 {
+		t.Fatalf("S6 median after 15K restores = %.2f, want 0", s15k)
+	}
+	if m15k < 0.95 {
+		t.Fatalf("M2 median after 15K restores = %.2f, want ~1", m15k)
+	}
+}
+
+func TestFig13UShapeAndMfrS(t *testing.T) {
+	o := tinyChar()
+	o.Rows = 16
+	o.Modules = []string{"H7", "S6"}
+	tbl, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(mod, factor string) float64 {
+		for _, r := range tbl.Rows {
+			if r[0] == mod && r[1] == factor && r[2] == "1" {
+				return cellF(t, r, 5)
+			}
+		}
+		t.Fatalf("row %s@%s missing", mod, factor)
+		return 0
+	}
+	if get("S6", "1.0000") != 0 {
+		t.Fatal("Mfr. S must show no Half-Double bitflips")
+	}
+	nom, mid, low := get("H7", "1.0000"), get("H7", "0.3600"), get("H7", "0.1800")
+	if !(mid < nom && low > mid) {
+		t.Fatalf("H7 Half-Double percentages not U-shaped: %.1f / %.1f / %.1f", nom, mid, low)
+	}
+}
+
+func TestFig14RetentionShape(t *testing.T) {
+	o := tinyChar()
+	o.Rows = 16
+	o.Modules = []string{"S6"}
+	tbl, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(factor string, restores, wait string) float64 {
+		for _, r := range tbl.Rows {
+			if r[2] == factor && r[3] == restores && r[4] == wait {
+				return cellF(t, r, 5)
+			}
+		}
+		t.Fatalf("row %s/%s/%s missing", factor, restores, wait)
+		return 0
+	}
+	if get("1.0000", "1", "64.00") != 0 {
+		t.Fatal("nominal latency must show no retention failures at 64ms")
+	}
+	if a, b := get("0.2700", "10", "64.00"), get("0.2700", "10", "1024"); b < a {
+		t.Fatalf("failures shrank with wait: %g -> %g", a, b)
+	}
+}
+
+func TestFig4InflectionExists(t *testing.T) {
+	o := tinyChar()
+	tbl, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For H5 the total time cost must dip below 1.0 somewhere (the
+	// motivation: reducing tRAS reduces total preventive-refresh time).
+	best := 10.0
+	for _, r := range tbl.Rows {
+		if r[0] != "H5" || r[5] == "inf" {
+			continue
+		}
+		if v := cellF(t, r, 5); v < best {
+			best = v
+		}
+	}
+	if best >= 1.0 {
+		t.Fatalf("no total-time reduction found for H5 (best %.2f)", best)
+	}
+}
+
+func TestTable3Agreement(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"H5", "M2", "S6"}
+	tbl, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean absolute error between measured and published ratios must
+	// stay moderate at this tiny sample size.
+	var sum float64
+	var n int
+	for _, r := range tbl.Rows {
+		if r[5] == "-" {
+			continue
+		}
+		sum += cellF(t, r, 5)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparable rows")
+	}
+	if mae := sum / float64(n); mae > 0.12 {
+		t.Fatalf("measured-vs-published MAE %.3f too high", mae)
+	}
+}
+
+func TestTable4Derivation(t *testing.T) {
+	tbl, err := Table4(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 30*6 {
+		t.Fatalf("table4 has %d rows, want %d", len(tbl.Rows), 30*6)
+	}
+	na := 0
+	for _, r := range tbl.Rows {
+		if r[2] == "N/A" {
+			na++
+		}
+	}
+	// The registry has red cells; the no-bitflip module contributes 6.
+	if na < 20 {
+		t.Fatalf("only %d N/A rows; red cells not propagated", na)
+	}
+}
+
+func TestFig3Ordering(t *testing.T) {
+	o := tinySys()
+	o.Mitigations = []string{"PARA", "Graphene"}
+	o.NRHs = []int{64}
+	tbl, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var para, graphene float64 = -1, -1
+	for _, r := range tbl.Rows {
+		if r[0] == "PARA" {
+			para = cellF(t, r, 2)
+		}
+		if r[0] == "Graphene" {
+			graphene = cellF(t, r, 2)
+		}
+	}
+	if para <= graphene {
+		t.Fatalf("PARA busy %.3f%% should exceed Graphene %.3f%%", para, graphene)
+	}
+}
+
+func TestFig17PaCRAMHelpsRFM(t *testing.T) {
+	o := tinySys()
+	o.Mitigations = []string{"RFM"}
+	o.NRHs = []int{64}
+	tbl, err := Fig17(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cfg string) float64 {
+		for _, r := range tbl.Rows {
+			if r[0] == cfg {
+				return cellF(t, r, 3)
+			}
+		}
+		t.Fatalf("config %s missing", cfg)
+		return 0
+	}
+	noPac := get("NoPaCRAM")
+	pacH := get("PaCRAM-H")
+	pacM := get("PaCRAM-M")
+	if pacH <= noPac {
+		t.Errorf("PaCRAM-H (%.3f) did not beat NoPaCRAM (%.3f)", pacH, noPac)
+	}
+	if pacM <= noPac {
+		t.Errorf("PaCRAM-M (%.3f) did not beat NoPaCRAM (%.3f)", pacM, noPac)
+	}
+	if noPac >= 1.0 {
+		t.Errorf("RFM at NRH=64 should cost performance vs no mitigation (%.3f)", noPac)
+	}
+}
+
+func TestFig18PaCRAMSavesEnergy(t *testing.T) {
+	o := tinySys()
+	o.Mitigations = []string{"PARA"}
+	o.NRHs = []int{64}
+	tbl, err := Fig18(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noPac, pacH float64 = -1, -1
+	for _, r := range tbl.Rows {
+		if r[0] == "NoPaCRAM" {
+			noPac = cellF(t, r, 3)
+		}
+		if r[0] == "PaCRAM-H" {
+			pacH = cellF(t, r, 3)
+		}
+	}
+	if pacH >= noPac {
+		t.Errorf("PaCRAM-H energy (%.3f) not below NoPaCRAM (%.3f)", pacH, noPac)
+	}
+	if noPac <= 1.0 {
+		t.Errorf("PARA at NRH=64 should cost energy vs no mitigation (%.3f)", noPac)
+	}
+}
+
+func TestFig16Normalization(t *testing.T) {
+	o := tinySys()
+	o.Workloads = []string{"429.mcf"}
+	o.Mitigations = []string{"PARA"}
+	o.NRHs = []int{64}
+	tbl, err := Fig16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every config has the factor-1.0 anchor at exactly 1.0, and
+	// PaCRAM-H's best region exceeds it.
+	sawAnchor, sawImprovement := false, false
+	for _, r := range tbl.Rows {
+		if r[3] == "1.0000" && r[4] == "1.0000" {
+			sawAnchor = true
+		}
+		if r[0] == "PaCRAM-H" && r[3] != "1.0000" {
+			if cellF(t, r, 4) > 1.0 {
+				sawImprovement = true
+			}
+		}
+	}
+	if !sawAnchor {
+		t.Fatal("fig16 missing the factor-1.0 anchor rows")
+	}
+	if !sawImprovement {
+		t.Fatal("fig16: PaCRAM-H never improved over the anchor")
+	}
+}
+
+func TestFig19RefreshCostGrowsWithDensity(t *testing.T) {
+	o := tinySys()
+	tbl, err := Fig19(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(density, factor string) float64 {
+		for _, r := range tbl.Rows {
+			if r[0] == density && r[1] == factor {
+				return cellF(t, r, 2)
+			}
+		}
+		t.Fatalf("row %s/%s missing", density, factor)
+		return 0
+	}
+	small := get("8", "1.0000")
+	big := get("512", "1.0000")
+	if big >= small {
+		t.Fatalf("refresh cost must grow with density: WS %.3f at 8Gb vs %.3f at 512Gb", small, big)
+	}
+	reduced := get("512", "0.3600")
+	if reduced <= big {
+		t.Fatalf("reduced periodic latency must help at 512Gb: %.3f vs %.3f", reduced, big)
+	}
+}
+
+func TestAreaReport(t *testing.T) {
+	tbl := AreaReport()
+	if len(tbl.Rows) < 5 {
+		t.Fatal("area report too small")
+	}
+}
+
+func TestFig10TemperatureInsensitive(t *testing.T) {
+	o := tinyChar()
+	o.Modules = []string{"S6"}
+	tbl, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Takeaway 4: the normalized NRH median at a given factor moves
+	// negligibly between 50C and 80C.
+	get := func(temp string) float64 {
+		for _, r := range tbl.Rows {
+			if r[1] == "NRH" && r[2] == temp && r[3] == "0.4500" {
+				return cellF(t, r, 6)
+			}
+		}
+		t.Fatalf("row for %s missing", temp)
+		return 0
+	}
+	cold, hot := get("50.00"), get("80.00")
+	if diff := cold - hot; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("temperature moved normalized NRH: %.3f vs %.3f", cold, hot)
+	}
+}
+
+func TestProfilingTable(t *testing.T) {
+	tbl := Profiling()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("profiling table has %d rows", len(tbl.Rows))
+	}
+	found := false
+	for _, r := range tbl.Rows {
+		if strings.Contains(r[0], "throughput") && strings.HasPrefix(r[1], "127") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("127 KB/s headline missing: %v", tbl.Rows)
+	}
+}
+
+func TestRunTableDetail(t *testing.T) {
+	o := tinySys()
+	o.Workloads = []string{"470.lbm"}
+	o.Mitigations = []string{"RFM", "PRAC"}
+	o.NRHs = []int{64}
+	tbl, err := RunTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // baseline + 2 mechanisms
+		t.Fatalf("run table has %d rows, want 3", len(tbl.Rows))
+	}
+	var baseIPC, pracIPC float64
+	for _, r := range tbl.Rows {
+		switch r[1] {
+		case "None":
+			baseIPC = cellF(t, r, 3)
+		case "PRAC":
+			pracIPC = cellF(t, r, 3)
+		}
+	}
+	if pracIPC >= baseIPC {
+		t.Fatalf("PRAC timing tax missing in run table: %.4f vs %.4f", pracIPC, baseIPC)
+	}
+}
+
+func TestTakeawaysAllHold(t *testing.T) {
+	co := tinyChar()
+	co.Rows = 12
+	so := tinySys()
+	tbl, err := Takeaways(co, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("takeaways table has %d rows, want 8", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[3] != "yes" {
+			t.Errorf("%s does not hold: %s (%s)", r[0], r[1], r[2])
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package exp
+
+import (
+	"fmt"
+
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/mitigation"
+	"pacram/internal/sim"
+	"pacram/internal/stats"
+	"pacram/internal/trace"
+)
+
+// SysOptions scales the system-level experiments (Figs. 3, 16-19).
+// Defaults trade the paper's 62 workloads x 100M instructions for a
+// representative subset at simulator-test scale; raise for fidelity.
+type SysOptions struct {
+	// Workloads are single-core workload names (empty = representative
+	// six spanning the intensity classes).
+	Workloads []string
+	// MixCount is how many of the 60 4-core mixes to run.
+	MixCount int
+	// Instructions/Warmup per core.
+	Instructions, Warmup uint64
+	// NRHs are the simulated RowHammer thresholds (paper: 1K..32).
+	NRHs []int
+	// Mitigations to evaluate (empty = all five).
+	Mitigations []string
+	Seed        uint64
+}
+
+// DefaultSysOptions returns the fast default scale.
+func DefaultSysOptions() SysOptions {
+	return SysOptions{
+		Workloads:    []string{"429.mcf", "470.lbm", "ycsb-a", "483.xalancbmk", "456.hmmer", "453.povray"},
+		MixCount:     3,
+		Instructions: 60_000,
+		Warmup:       6_000,
+		NRHs:         []int{1024, 256, 64},
+		Seed:         0x51317,
+	}
+}
+
+func (o SysOptions) mitigations() []string {
+	if len(o.Mitigations) == 0 {
+		return mitigation.AllNames()
+	}
+	return o.Mitigations
+}
+
+func (o SysOptions) specs() ([]trace.Spec, error) {
+	specs := make([]trace.Spec, 0, len(o.Workloads))
+	for _, name := range o.Workloads {
+		s, err := trace.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// runner caches simulation results shared across figure drivers.
+type runner struct {
+	o     SysOptions
+	cache map[string]sim.Result
+}
+
+func newRunner(o SysOptions) *runner {
+	return &runner{o: o, cache: map[string]sim.Result{}}
+}
+
+func (r *runner) run(key string, workloads []trace.Spec, mech string, nrh int,
+	cfg *pacram.Config, periodic bool) (sim.Result, error) {
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	opt := sim.DefaultOptions(workloads...)
+	opt.MemCfg = sim.SmallMemConfig()
+	opt.Instructions = r.o.Instructions
+	opt.Warmup = r.o.Warmup
+	opt.Mitigation = mech
+	opt.NRH = nrh
+	opt.PaCRAM = cfg
+	opt.PeriodicExtension = periodic
+	opt.Seed = r.o.Seed
+	res, err := sim.Run(opt)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// PaCRAMConfigs holds the three per-manufacturer operating points the
+// paper evaluates (PaCRAM-H/M/S: modules H5, M2, S6 at their
+// best-observed latencies 0.36, 0.18 and 0.45 tRAS, §9.2).
+type PaCRAMConfigs struct {
+	Names   []string
+	Modules []string
+	Factors []int // factor indices into chips.Factors
+}
+
+// PaperPaCRAMConfigs returns the §9.1 configuration set.
+func PaperPaCRAMConfigs() PaCRAMConfigs {
+	return PaCRAMConfigs{
+		Names:   []string{"PaCRAM-H", "PaCRAM-M", "PaCRAM-S"},
+		Modules: []string{"H5", "M2", "S6"},
+		Factors: []int{4, 6, 3}, // 0.36, 0.18, 0.45
+	}
+}
+
+func deriveConfig(moduleID string, factorIdx, nrh int) (*pacram.Config, error) {
+	m, err := chips.ByID(moduleID)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := pacram.Derive(m, factorIdx, nrh, sim.SmallMemConfig().Timing)
+	if err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Fig3 measures the fraction of execution time banks spend on
+// preventive refreshes, per mechanism per NRH, over 4-core mixes.
+func Fig3(o SysOptions) (*Table, error) {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Preventive-refresh busy time vs NRH (paper Fig. 3)",
+		Columns: []string{"mechanism", "NRH", "meanPct", "minPct", "maxPct"},
+	}
+	r := newRunner(o)
+	mixes := trace.Mixes()
+	if o.MixCount < len(mixes) {
+		mixes = mixes[:o.MixCount]
+	}
+	for _, mech := range o.mitigations() {
+		for _, nrh := range o.NRHs {
+			var fracs []float64
+			for _, mix := range mixes {
+				key := fmt.Sprintf("fig3/%s/%d/%s", mech, nrh, mix.Name)
+				res, err := r.run(key, mix.Specs[:], mech, nrh, nil, false)
+				if err != nil {
+					return nil, err
+				}
+				fracs = append(fracs, 100*res.PrevRefBusyFraction)
+			}
+			t.AddRow(mech, nrh, stats.Mean(fracs), stats.Min(fracs), stats.Max(fracs))
+		}
+	}
+	return t, nil
+}
+
+// Fig16 sweeps the preventive-refresh latency for each PaCRAM
+// configuration, mechanism and NRH; IPC is normalized to the same
+// mechanism without PaCRAM (factor 1.0), averaged over the single-core
+// workloads.
+func Fig16(o SysOptions) (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Normalized IPC vs preventive-refresh latency (paper Fig. 16)",
+		Columns: []string{"config", "mechanism", "NRH", "factor", "normIPC"},
+	}
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	r := newRunner(o)
+	pc := PaperPaCRAMConfigs()
+
+	for ci, name := range pc.Names {
+		for _, mech := range o.mitigations() {
+			for _, nrh := range o.NRHs {
+				// Baseline: mechanism without PaCRAM.
+				base := 0.0
+				for _, spec := range specs {
+					key := fmt.Sprintf("nopac/%s/%d/%s", mech, nrh, spec.Name)
+					res, err := r.run(key, []trace.Spec{spec}, mech, nrh, nil, false)
+					if err != nil {
+						return nil, err
+					}
+					base += res.IPC[0]
+				}
+				t.AddRow(name, mech, nrh, 1.0, 1.0)
+				for idx := 1; idx < len(chips.Factors); idx++ {
+					cfg, err := deriveConfig(pc.Modules[ci], idx, nrh)
+					if err != nil {
+						continue // red cell: latency unusable on this module
+					}
+					sum := 0.0
+					for _, spec := range specs {
+						key := fmt.Sprintf("fig16/%s/%s/%d/%d/%s", name, mech, nrh, idx, spec.Name)
+						res, err := r.run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
+						if err != nil {
+							return nil, err
+						}
+						sum += res.IPC[0]
+					}
+					t.AddRow(name, mech, nrh, chips.Factors[idx], sum/base)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// perfRow runs one (mechanism, config) point over single-core
+// workloads and mixes, returning performance normalized to the
+// no-mitigation baseline.
+func (r *runner) perfRow(specs []trace.Spec, mixes []trace.Mix, mech string,
+	nrh int, tag string, cfg *pacram.Config) (single, multi float64, energySingle, energyMulti float64, err error) {
+	// Single-core: mean normalized IPC.
+	var ipcs, es []float64
+	for _, spec := range specs {
+		baseKey := fmt.Sprintf("nomitig/%s", spec.Name)
+		base, err := r.run(baseKey, []trace.Spec{spec}, "None", nrh, nil, false)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		key := fmt.Sprintf("perf/%s/%s/%d/%s", tag, mech, nrh, spec.Name)
+		res, err := r.run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		ipcs = append(ipcs, res.IPC[0]/base.IPC[0])
+		es = append(es, res.Energy.Total()/base.Energy.Total())
+	}
+	// Multi-core: weighted speedup vs the no-mitigation mix run.
+	var wss, ems []float64
+	for _, mix := range mixes {
+		baseKey := fmt.Sprintf("nomitig-mix/%s", mix.Name)
+		base, err := r.run(baseKey, mix.Specs[:], "None", nrh, nil, false)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		key := fmt.Sprintf("perf-mix/%s/%s/%d/%s", tag, mech, nrh, mix.Name)
+		res, err := r.run(key, mix.Specs[:], mech, nrh, cfg, false)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		// Weighted speedup with the baseline run as the alone IPC:
+		// equals 4.0 for the baseline itself.
+		wss = append(wss, stats.WeightedSpeedup(res.IPC, base.IPC)/float64(len(res.IPC)))
+		ems = append(ems, res.Energy.Total()/base.Energy.Total())
+	}
+	return stats.Mean(ipcs), stats.Mean(wss), stats.Mean(es), stats.Mean(ems), nil
+}
+
+// Fig17 measures system performance (single-core IPC and multi-core
+// weighted speedup) normalized to no mitigation, for each mechanism
+// with and without the three PaCRAM configurations.
+func Fig17(o SysOptions) (*Table, error) {
+	return perfEnergyTable(o, "fig17",
+		"System performance of PaCRAM (paper Fig. 17)",
+		[]string{"config", "mechanism", "NRH", "singleCoreNorm", "multiCoreNorm"},
+		func(t *Table, cfgName, mech string, nrh int, s, m, _, _ float64) {
+			t.AddRow(cfgName, mech, nrh, s, m)
+		})
+}
+
+// Fig18 measures DRAM energy normalized to no mitigation.
+func Fig18(o SysOptions) (*Table, error) {
+	return perfEnergyTable(o, "fig18",
+		"DRAM energy of PaCRAM (paper Fig. 18)",
+		[]string{"config", "mechanism", "NRH", "singleCoreNorm", "multiCoreNorm"},
+		func(t *Table, cfgName, mech string, nrh int, _, _ float64, es, em float64) {
+			t.AddRow(cfgName, mech, nrh, es, em)
+		})
+}
+
+func perfEnergyTable(o SysOptions, id, title string, cols []string,
+	add func(t *Table, cfgName, mech string, nrh int, s, m, es, em float64)) (*Table, error) {
+	t := &Table{ID: id, Title: title, Columns: cols}
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	mixes := trace.Mixes()
+	if o.MixCount < len(mixes) {
+		mixes = mixes[:o.MixCount]
+	}
+	r := newRunner(o)
+	pc := PaperPaCRAMConfigs()
+
+	for _, mech := range o.mitigations() {
+		for _, nrh := range o.NRHs {
+			s, m, es, em, err := r.perfRow(specs, mixes, mech, nrh, "nopac", nil)
+			if err != nil {
+				return nil, err
+			}
+			add(t, "NoPaCRAM", mech, nrh, s, m, es, em)
+			for ci, name := range pc.Names {
+				cfg, err := deriveConfig(pc.Modules[ci], pc.Factors[ci], nrh)
+				if err != nil {
+					return nil, err
+				}
+				s, m, es, em, err := r.perfRow(specs, mixes, mech, nrh, name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				add(t, name, mech, nrh, s, m, es, em)
+			}
+		}
+	}
+	return t, nil
+}
+
+// periodicScalePolicy reduces periodic-refresh latency by a fixed
+// factor with no mitigation attached (the Appendix B / Fig. 19 sweep).
+type periodicScalePolicy struct {
+	scale float64
+	tras  float64
+}
+
+func (p periodicScalePolicy) VRRHold(int, int, float64) float64 { return p.tras }
+func (p periodicScalePolicy) PeriodicScale(float64) float64     { return p.scale }
+
+// Fig19 sweeps DRAM chip density and periodic-refresh latency with no
+// RowHammer mitigation, normalizing performance and energy to a
+// refresh-free system (paper Fig. 19 / Appendix B).
+func Fig19(o SysOptions) (*Table, error) {
+	t := &Table{
+		ID:      "fig19",
+		Title:   "Periodic-refresh reduction vs chip density (paper Fig. 19)",
+		Columns: []string{"densityGb", "latencyFactor", "normWS", "normEnergy"},
+	}
+	mixes := trace.Mixes()
+	if len(mixes) > o.MixCount {
+		mixes = mixes[:o.MixCount]
+	}
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("exp: fig19 needs at least one mix")
+	}
+	mix := mixes[0]
+	tm := sim.SmallMemConfig().Timing
+
+	for _, density := range []int{8, 16, 32, 64, 128, 256, 512} {
+		// tRFC grows with density: x1.45 per doubling approximates the
+		// JEDEC progression (195ns at 8Gb, 295ns at 16Gb, 410ns at
+		// 32Gb, extrapolated beyond).
+		scaleRFC := 1.0
+		for d := 8; d < density; d *= 2 {
+			scaleRFC *= 1.45
+		}
+
+		run := func(latFactor float64, refresh bool) (sim.Result, error) {
+			opt := sim.DefaultOptions(mix.Specs[:]...)
+			opt.MemCfg = sim.SmallMemConfig()
+			opt.MemCfg.Timing = opt.MemCfg.Timing.ScaleTRFC(scaleRFC)
+			opt.MemCfg.RefreshEnabled = refresh
+			opt.Instructions = o.Instructions
+			opt.Warmup = o.Warmup
+			opt.Seed = o.Seed
+			if refresh && latFactor < 1.0 {
+				// Scale as the restoration portion of tRFC shrinks.
+				ps := (latFactor*tm.TRAS + tm.TRP) / (tm.TRAS + tm.TRP)
+				return sim.RunWithPolicy(opt, periodicScalePolicy{scale: ps, tras: tm.TRAS})
+			}
+			return sim.Run(opt)
+		}
+
+		noRef, err := run(1.0, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []float64{1.00, 0.81, 0.64, 0.45, 0.36, 0.27} {
+			res, err := run(f, true)
+			if err != nil {
+				return nil, err
+			}
+			ws := res.SumIPC() / noRef.SumIPC()
+			en := res.Energy.Total() / noRef.Energy.Total()
+			t.AddRow(density, f, ws, en)
+		}
+	}
+	return t, nil
+}
+
+// RunTable is the detailed single-run report: per workload and
+// mechanism, the raw controller statistics behind the figures. Useful
+// for exploring configurations outside the paper's sweeps.
+func RunTable(o SysOptions) (*Table, error) {
+	t := &Table{
+		ID:    "run",
+		Title: "Detailed per-workload simulation statistics",
+		Columns: []string{"workload", "mechanism", "NRH", "IPC", "normIPC",
+			"prevBusyPct", "avgReadLat", "acts", "vrrs", "rfms", "energyUJ"},
+	}
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+	r := newRunner(o)
+	for _, spec := range specs {
+		base, err := r.run("run-base/"+spec.Name, []trace.Spec{spec}, "None", 1024, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name, "None", "-", base.IPC[0], 1.0,
+			100*base.PrevRefBusyFraction, base.Stats.AvgReadLatency(),
+			base.Stats.Acts, base.Stats.VRRs, base.Stats.RFMs, base.Energy.Total()*1e6)
+		for _, mech := range o.mitigations() {
+			for _, nrh := range o.NRHs {
+				key := fmt.Sprintf("run/%s/%s/%d", spec.Name, mech, nrh)
+				res, err := r.run(key, []trace.Spec{spec}, mech, nrh, nil, false)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(spec.Name, mech, nrh, res.IPC[0], res.IPC[0]/base.IPC[0],
+					100*res.PrevRefBusyFraction, res.Stats.AvgReadLatency(),
+					res.Stats.Acts, res.Stats.VRRs, res.Stats.RFMs, res.Energy.Total()*1e6)
+			}
+		}
+	}
+	return t, nil
+}
+
+// AreaReport summarizes PaCRAM's §8.4 hardware cost.
+func AreaReport() *Table {
+	t := &Table{
+		ID:      "area",
+		Title:   "PaCRAM metadata area and latency (paper §8.4)",
+		Columns: []string{"metric", "value"},
+	}
+	const banks, rows = 32, 65536
+	area := pacram.AreaMM2(banks, rows)
+	t.AddRow("configuration", fmt.Sprintf("2 ranks x 16 banks, %d rows/bank", rows))
+	t.AddRow("storage per bank (bytes)", pacram.StorageBytes(1, rows))
+	t.AddRow("area per bank (mm2)", pacram.AreaMM2(1, rows))
+	t.AddRow("total area (mm2)", area)
+	t.AddRow("Xeon die overhead (%)", pacram.XeonOverheadPercent(area))
+	t.AddRow("memory controller overhead (%)", pacram.MemCtrlOverheadPercent(area))
+	t.AddRow("SRAM access latency (ns)", pacram.AccessLatencyNs)
+	return t
+}

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+
+	"pacram/internal/bender"
+	"pacram/internal/characterize"
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/mitigation"
+	"pacram/internal/sim"
+	"pacram/internal/trace"
+)
+
+// Takeaways re-verifies the paper's eight takeaways end-to-end and
+// reports the measured evidence for each. It is the narrative
+// companion to cmd/artifact's four formal claims.
+func Takeaways(co CharOptions, so SysOptions) (*Table, error) {
+	t := &Table{
+		ID:      "takeaways",
+		Title:   "The paper's eight takeaways, re-verified",
+		Columns: []string{"takeaway", "paper statement", "measured evidence", "holds"},
+	}
+
+	meas := func(id string, factor float64, npr int, temp float64) (float64, error) {
+		m, err := chips.ByID(id)
+		if err != nil {
+			return 0, err
+		}
+		res, err := characterize.MeasureModule(m, co.deviceOptions(), factor, npr, temp, co.Rows, co.config())
+		if err != nil {
+			return 0, err
+		}
+		nom, err := characterize.MeasureModule(m, co.deviceOptions(), 1.0, 1, temp, co.Rows, co.config())
+		if err != nil {
+			return 0, err
+		}
+		lo, any := res.LowestNRH()
+		loNom, anyNom := nom.LowestNRH()
+		if !any || !anyNom || loNom == 0 {
+			return 0, nil
+		}
+		return float64(lo) / float64(loNom), nil
+	}
+
+	// T1: charge restoration latency can be reduced to a safe minimum
+	// without affecting NRH.
+	r, err := meas("H5", 0.36, 1, 80)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T1", "tRAS reducible to a safe minimum without affecting NRH",
+		fmt.Sprintf("H5 lowest NRH at 0.36 tRAS = %.2fx nominal", r), verdict(r >= 0.95))
+
+	// T2: ...without significantly affecting the lowest observed NRH.
+	r, err = meas("M2", 0.27, 1, 80)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T2", "lowest observed NRH robust at mfr-specific safe latencies",
+		fmt.Sprintf("M2 lowest NRH at 0.27 tRAS = %.2fx nominal", r), verdict(r >= 0.97))
+
+	// T3: BER does not grow significantly at the safe minimum.
+	berRatio, err := berAt(co, "H5", 0.36)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T3", "BER not significantly increased at the safe minimum",
+		fmt.Sprintf("H5 mean BER at 0.36 tRAS = %.2fx nominal", berRatio), verdict(berRatio <= 1.05))
+
+	// T4: temperature does not change the effect.
+	cold, err := meas("S6", 0.45, 1, 50)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := meas("S6", 0.45, 1, 80)
+	if err != nil {
+		return nil, err
+	}
+	diff := cold - hot
+	if diff < 0 {
+		diff = -diff
+	}
+	t.AddRow("T4", "temperature has no significant impact on the latency effect",
+		fmt.Sprintf("S6@0.45 normalized NRH differs by %.3f between 50C and 80C", diff), verdict(diff <= 0.05))
+
+	// T5: reduced latency is safe for many consecutive refreshes.
+	r, err = meas("H7", 0.36, 15000, 80)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T5", "reduced latency safe for many consecutive preventive refreshes",
+		fmt.Sprintf("H7 lowest NRH after 15K restores at 0.36 tRAS = %.2fx nominal", r), verdict(r >= 0.95))
+
+	// T6: no data-retention failures at the safe minimum.
+	frac, err := retentionAt(co, "S6", 0.45)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T6", "no retention failures at the safe minimum within tREFW",
+		fmt.Sprintf("S6 retention-failure fraction at 0.45 tRAS, 64ms = %.3f", frac), verdict(frac == 0))
+
+	// T7/T8: PaCRAM improves performance and energy.
+	spec, err := trace.SpecByName("429.mcf")
+	if err != nil {
+		return nil, err
+	}
+	run := func(cfg *pacram.Config) (sim.Result, error) {
+		o := sim.DefaultOptions(spec)
+		o.MemCfg = sim.SmallMemConfig()
+		o.Instructions = so.Instructions
+		o.Warmup = so.Warmup
+		o.Mitigation = mitigation.NameRFM
+		o.NRH = 64
+		o.PaCRAM = cfg
+		o.Seed = so.Seed
+		return sim.Run(o)
+	}
+	mod, err := chips.ByID("H5")
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := pacram.Derive(mod, 4, 64, sim.SmallMemConfig().Timing)
+	if err != nil {
+		return nil, err
+	}
+	noPac, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	withPac, err := run(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	dPerf := 100 * (withPac.IPC[0]/noPac.IPC[0] - 1)
+	t.AddRow("T7", "PaCRAM significantly improves system performance",
+		fmt.Sprintf("RFM@64 + PaCRAM-H: %+.2f%% IPC", dPerf), verdict(dPerf > 0))
+	dEnergy := 100 * (withPac.Energy.Total()/noPac.Energy.Total() - 1)
+	t.AddRow("T8", "PaCRAM significantly reduces DRAM energy",
+		fmt.Sprintf("RFM@64 + PaCRAM-H: %+.2f%% DRAM energy", dEnergy), verdict(dEnergy < 0))
+	return t, nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+// berAt returns the mean BER at the given factor normalized to nominal
+// across sampled rows of the module.
+func berAt(co CharOptions, id string, factor float64) (float64, error) {
+	m, err := chips.ByID(id)
+	if err != nil {
+		return 0, err
+	}
+	_, bers, err := normalizedPerRow(m, co, factor, 1, 80)
+	if err != nil {
+		return 0, err
+	}
+	if len(bers) == 0 {
+		return 0, fmt.Errorf("exp: no BER samples for %s", id)
+	}
+	sum := 0.0
+	for _, b := range bers {
+		sum += b
+	}
+	return sum / float64(len(bers)), nil
+}
+
+// retentionAt measures the retention-failure fraction at (factor, 64ms,
+// 1 restore).
+func retentionAt(co CharOptions, id string, factor float64) (float64, error) {
+	m, err := chips.ByID(id)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := bender.New(m.NewChip(co.deviceOptions()), co.Seed)
+	if err != nil {
+		return 0, err
+	}
+	pl.SetTemperature(80)
+	rows := characterize.SelectRows(pl, co.Rows)
+	res, err := characterize.MeasureRetentionModule(pl, id, rows, factor, 1, 64)
+	if err != nil {
+		return 0, err
+	}
+	return res.FailFraction(), nil
+}

@@ -1,0 +1,70 @@
+package memsys
+
+// bank tracks the timing state of one DRAM bank, in CPU cycles.
+type bank struct {
+	openRow int // -1 when precharged
+
+	actReady uint64 // earliest ACT
+	preReady uint64 // earliest PRE (tRAS from last ACT)
+	rdReady  uint64 // earliest RD (tRCD from ACT; tCCD chained)
+	wrReady  uint64 // earliest WR
+	busyTill uint64 // blocked by REF/RFM/VRR service
+
+	// lastAggressor is the most recently activated row; RFM-based
+	// mitigations refresh its neighbourhood.
+	lastAggressor int
+}
+
+func (b *bank) reset() {
+	b.openRow = -1
+	b.lastAggressor = -1
+}
+
+// free reports whether the bank can accept a command at cycle.
+func (b *bank) free(cycle uint64) bool { return cycle >= b.busyTill }
+
+// canACT reports whether an ACT may issue at cycle (bank-local timing
+// only; rank constraints checked separately).
+func (b *bank) canACT(cycle uint64) bool {
+	return b.free(cycle) && b.openRow == -1 && cycle >= b.actReady
+}
+
+// canPRE reports whether a PRE may issue at cycle.
+func (b *bank) canPRE(cycle uint64) bool {
+	return b.free(cycle) && b.openRow != -1 && cycle >= b.preReady
+}
+
+// rank tracks rank-level constraints: tFAW, tRRD, refresh.
+type rank struct {
+	lastActs   [4]uint64 // ring of the last four ACT cycles (tFAW)
+	actIdx     int
+	lastAct    uint64 // tRRD
+	refPending bool
+	nextRefAt  uint64
+	busyTill   uint64 // REF/RFM in progress
+}
+
+// canACT reports whether rank-level constraints admit an ACT at cycle.
+func (r *rank) canACT(cycle uint64, tFAW, tRRD uint64) bool {
+	if cycle < r.busyTill {
+		return false
+	}
+	if r.refPending {
+		return false // refresh has priority: block new activates
+	}
+	if r.lastAct != 0 && cycle < r.lastAct+tRRD {
+		return false
+	}
+	oldest := r.lastActs[r.actIdx]
+	if oldest != 0 && cycle < oldest+tFAW {
+		return false
+	}
+	return true
+}
+
+// recordACT notes an ACT at cycle for tFAW/tRRD tracking.
+func (r *rank) recordACT(cycle uint64) {
+	r.lastActs[r.actIdx] = cycle
+	r.actIdx = (r.actIdx + 1) % len(r.lastActs)
+	r.lastAct = cycle
+}

@@ -1,0 +1,64 @@
+package memsys
+
+import (
+	"testing"
+
+	"pacram/internal/ddr"
+)
+
+// bankgroup_test.go verifies the DDR5 tCCD_S/tCCD_L distinction: row
+// hits within one bank group are gated at tCCD_L, while hits spread
+// across groups are limited only by the data bus (~tCCD_S).
+
+func colSpread(t *testing.T, sameGroup bool) uint64 {
+	t.Helper()
+	cfg := testConfig()
+	cfg.RefreshEnabled = false
+	c := newCtrl(t, cfg, nil, nil)
+	mapper := c.Mapper()
+
+	// Open the target rows first.
+	warm := 0
+	targets := make([]ddr.Address, 4)
+	for i := range targets {
+		a := ddr.Address{Row: 5}
+		if sameGroup {
+			a.Bank = 0
+			a.BankGroup = 0
+			a.Column = i + 1
+		} else {
+			a.BankGroup = i % cfg.Geometry.BankGroups
+		}
+		targets[i] = a
+		warm++
+		c.Issue(mapper.Encode(a), false, func() { warm-- })
+	}
+	drain(t, c, &warm, 100000)
+
+	// Same-group case reuses one open row with different columns;
+	// cross-group case re-reads each group's open row.
+	var completions []uint64
+	pending := len(targets)
+	for i, a := range targets {
+		a.Column = 8 + i
+		c.Issue(mapper.Encode(a), false, func() {
+			completions = append(completions, c.Cycle())
+			pending--
+		})
+	}
+	drain(t, c, &pending, 100000)
+	return completions[len(completions)-1] - completions[0]
+}
+
+func TestBankGroupColumnTiming(t *testing.T) {
+	same := colSpread(t, true)
+	cross := colSpread(t, false)
+	if same < cross {
+		t.Fatalf("same-group columns (%d cycles) should be slower than cross-group (%d)", same, cross)
+	}
+	cfg := testConfig()
+	tCCDL := uint64(cfg.Timing.TCCD * cfg.CPUFreqGHz)
+	if same < 3*tCCDL {
+		t.Fatalf("same-group spread %d below 3x tCCD_L (%d)", same, 3*tCCDL)
+	}
+}

@@ -1,0 +1,579 @@
+package memsys
+
+import (
+	"fmt"
+	"math"
+
+	"pacram/internal/ddr"
+)
+
+// Config assembles a memory controller.
+type Config struct {
+	Geometry ddr.Geometry
+	Timing   ddr.Timing
+	// CPUFreqGHz converts DRAM nanosecond timings to CPU cycles.
+	CPUFreqGHz float64
+	// Queue depths (64 each in the paper's Table 2).
+	ReadQueue, WriteQueue int
+	// Write drain watermarks as fractions of the write queue.
+	DrainHi, DrainLo float64
+	// MOPWidth is the MOP address-mapping group size.
+	MOPWidth int
+	// ExtraLatency is the fixed on-chip latency (cycles) added to every
+	// read completion (caches, interconnect).
+	ExtraLatency uint64
+	// RefreshEnabled turns periodic refresh on (off for bare
+	// characterization-style runs).
+	RefreshEnabled bool
+	// BlastRadius is how far (in rows) preventive refreshes reach
+	// around an aggressor (2 in the paper, to cover Half-Double).
+	BlastRadius int
+}
+
+// DefaultConfig returns the paper's simulated configuration.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:       ddr.PaperSystem(),
+		Timing:         ddr.DDR5(),
+		CPUFreqGHz:     3.2,
+		ReadQueue:      64,
+		WriteQueue:     64,
+		DrainHi:        0.8,
+		DrainLo:        0.25,
+		MOPWidth:       4,
+		ExtraLatency:   48,
+		RefreshEnabled: true,
+		BlastRadius:    2,
+	}
+}
+
+// vrrReq is a queued preventive refresh.
+type vrrReq struct {
+	bank, row int
+}
+
+// rfmReq is a queued refresh-management command.
+type rfmReq struct {
+	rank int
+	bank int // bank whose aggressor neighbourhood is refreshed
+}
+
+// Controller is the cycle-level memory controller.
+type Controller struct {
+	cfg    Config
+	mapper *ddr.Mapper
+	mitig  Mitigation
+	policy RefreshPolicy
+
+	banks []bank
+	ranks []rank
+	// bgColReady gates same-bank-group column commands at tCCD_L;
+	// cross-group columns only contend for the data bus (tCCD_S).
+	bgColReady []uint64
+
+	readQ, writeQ []*Request
+	vrrQ          []vrrReq
+	rfmQ          []rfmReq
+
+	completions completionHeap
+	cycle       uint64
+	busUntil    uint64 // data bus (single channel)
+
+	draining bool
+
+	// cached cycle conversions
+	cRCD, cRP, cRAS, cCL, cCWL, cBL, cCCD, cRRD, cFAW, cWR, cRTP, cWTR uint64
+	cRFC, cREFI, cRFM                                                  uint64
+	refWindowCycles                                                    uint64
+	nextRefWindow                                                      uint64
+
+	stats Stats
+
+	// audit is an optional activation listener (security tests).
+	audit func(bank, row int, preventive bool)
+}
+
+// NewController builds a controller. The mitigation and policy may be
+// nil (no mitigation, nominal latency).
+func NewController(cfg Config, mitig Mitigation, policy RefreshPolicy) (*Controller, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Geometry.Channels != 1 {
+		return nil, fmt.Errorf("memsys: only single-channel systems are modeled, got %d channels", cfg.Geometry.Channels)
+	}
+	if cfg.CPUFreqGHz <= 0 {
+		return nil, fmt.Errorf("memsys: CPU frequency must be positive")
+	}
+	mapper, err := ddr.NewMOPMapper(cfg.Geometry, cfg.MOPWidth)
+	if err != nil {
+		return nil, err
+	}
+	if mitig == nil {
+		mitig = NoMitigation{}
+	}
+	if policy == nil {
+		policy = NominalPolicy{TRASNs: cfg.Timing.TRAS}
+	}
+	c := &Controller{
+		cfg:    cfg,
+		mapper: mapper,
+		mitig:  mitig,
+		policy: policy,
+		banks:  make([]bank, cfg.Geometry.TotalBanks()),
+		ranks:  make([]rank, cfg.Geometry.Channels*cfg.Geometry.Ranks),
+	}
+	c.bgColReady = make([]uint64, cfg.Geometry.Channels*cfg.Geometry.Ranks*cfg.Geometry.BankGroups)
+	for i := range c.banks {
+		c.banks[i].reset()
+	}
+	t := cfg.Timing
+	cyc := func(ns float64) uint64 { return uint64(math.Ceil(ns * cfg.CPUFreqGHz)) }
+	c.cRCD, c.cRP, c.cRAS = cyc(t.TRCD), cyc(t.TRP), cyc(t.TRAS)
+	c.cCL, c.cCWL, c.cBL = cyc(t.TCL), cyc(t.TCWL), cyc(t.TBL)
+	c.cCCD, c.cRRD, c.cFAW = cyc(t.TCCD), cyc(t.TRRD), cyc(t.TFAW)
+	c.cWR, c.cRTP, c.cWTR = cyc(t.TWR), cyc(t.TRTP), cyc(t.TWTR)
+	c.cRFC, c.cREFI, c.cRFM = cyc(t.TRFC), cyc(t.TREFI), cyc(t.TRFM)
+	if to, ok := mitig.(TimingOverhead); ok {
+		// Mechanisms like PRAC tax every precharge (counter update).
+		c.cRP += cyc(to.ExtraPrechargeNs())
+	}
+	c.refWindowCycles = cyc(t.TREFW)
+	c.nextRefWindow = c.refWindowCycles
+	for i := range c.ranks {
+		c.ranks[i].nextRefAt = c.cREFI
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Geometry returns the configured geometry.
+func (c *Controller) Geometry() ddr.Geometry { return c.cfg.Geometry }
+
+// Mapper returns the address mapper.
+func (c *Controller) Mapper() *ddr.Mapper { return c.mapper }
+
+// Cycle returns the current cycle.
+func (c *Controller) Cycle() uint64 { return c.cycle }
+
+// SetAudit installs an activation listener used by security tests:
+// it observes every row activation (demand and preventive).
+func (c *Controller) SetAudit(fn func(bank, row int, preventive bool)) { c.audit = fn }
+
+// nowNs returns the wall-clock time in ns.
+func (c *Controller) nowNs() float64 { return float64(c.cycle) / c.cfg.CPUFreqGHz }
+
+func (c *Controller) cycles(ns float64) uint64 {
+	return uint64(math.Ceil(ns * c.cfg.CPUFreqGHz))
+}
+
+// Issue enqueues a request (MemoryPort for cores). Returns false when
+// the respective queue is full.
+func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
+	line := addr &^ uint64(c.cfg.Geometry.LineBytes-1)
+	if write {
+		if len(c.writeQ) >= c.cfg.WriteQueue {
+			return false
+		}
+		c.writeQ = append(c.writeQ, &Request{
+			Addr: c.mapper.Decode(addr), Line: line, Write: true, Arrival: c.cycle,
+		})
+		return true
+	}
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		return false
+	}
+	// Forward from the write queue when the line is pending there.
+	for _, w := range c.writeQ {
+		if w.Line == line {
+			if done != nil {
+				c.completions.schedule(c.cycle+1, done)
+			}
+			c.stats.Reads++ // serviced, albeit by forwarding
+			return true
+		}
+	}
+	c.readQ = append(c.readQ, &Request{
+		Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle,
+	})
+	return true
+}
+
+// QueueMeta injects mitigation metadata traffic (Hydra's RCT).
+func (c *Controller) queueMeta(bankFlat int, reads, writes int) {
+	geo := c.cfg.Geometry
+	a := geo.BankOfFlat(bankFlat)
+	a.Row = geo.Rows - 1 // metadata region: last row of the bank
+	for i := 0; i < reads && len(c.readQ) < c.cfg.ReadQueue; i++ {
+		a.Column = (int(c.stats.MetaReads) + i) % geo.Columns
+		c.readQ = append(c.readQ, &Request{Addr: a, Write: false, Arrival: c.cycle, Meta: true})
+		c.stats.MetaReads++
+	}
+	for i := 0; i < writes && len(c.writeQ) < c.cfg.WriteQueue; i++ {
+		a.Column = (int(c.stats.MetaWrites) + i) % geo.Columns
+		c.writeQ = append(c.writeQ, &Request{Addr: a, Write: true, Arrival: c.cycle, Meta: true})
+		c.stats.MetaWrites++
+	}
+}
+
+// PendingReads reports outstanding demand reads (for drain-at-end).
+func (c *Controller) PendingReads() int { return len(c.readQ) }
+
+// Tick advances the controller one CPU cycle, issuing at most one
+// command on the (single) command bus.
+func (c *Controller) Tick() {
+	c.cycle++
+	c.stats.Cycles = c.cycle
+	c.completions.runDue(c.cycle)
+
+	if c.cycle >= c.nextRefWindow {
+		c.mitig.OnRefreshWindow()
+		c.nextRefWindow += c.refWindowCycles
+	}
+	if c.cfg.RefreshEnabled {
+		for r := range c.ranks {
+			if c.cycle >= c.ranks[r].nextRefAt {
+				c.ranks[r].refPending = true
+			}
+		}
+	}
+
+	// One command per cycle, in priority order.
+	if c.tryRefresh() {
+		return
+	}
+	if c.tryRFM() {
+		return
+	}
+	if c.tryVRR() {
+		return
+	}
+	c.tryDemand()
+}
+
+// bankRank returns the rank index of flat bank b.
+func (c *Controller) bankRank(b int) int {
+	return b / c.cfg.Geometry.Banks()
+}
+
+// tryRefresh issues a pending periodic REF if its rank is quiescent.
+// While a refresh is pending, rank.canACT blocks new activates, so the
+// rank drains naturally; open banks are precharged here.
+func (c *Controller) tryRefresh() bool {
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if !rk.refPending || c.cycle < rk.busyTill {
+			continue
+		}
+		// Precharge any open bank in the rank first.
+		base := r * c.cfg.Geometry.Banks()
+		allClosed := true
+		for b := base; b < base+c.cfg.Geometry.Banks(); b++ {
+			bk := &c.banks[b]
+			if bk.openRow != -1 {
+				allClosed = false
+				if bk.canPRE(c.cycle) {
+					c.issuePRE(b)
+					return true
+				}
+			} else if !bk.free(c.cycle) {
+				allClosed = false
+			}
+		}
+		if !allClosed {
+			continue
+		}
+		// All banks idle: issue REF.
+		scale := c.policy.PeriodicScale(c.nowNs())
+		dur := uint64(float64(c.cRFC) * scale)
+		if dur == 0 {
+			dur = 1
+		}
+		rk.busyTill = c.cycle + dur
+		rk.refPending = false
+		rk.nextRefAt += c.cREFI
+		for b := base; b < base+c.cfg.Geometry.Banks(); b++ {
+			c.banks[b].busyTill = rk.busyTill
+			c.banks[b].actReady = rk.busyTill
+		}
+		c.stats.Refs++
+		c.stats.RefBusy += dur * uint64(c.cfg.Geometry.Banks())
+		c.stats.RefRestoreNs += c.cfg.Timing.TRFC * scale
+		return true
+	}
+	return false
+}
+
+// tryRFM services a queued RFM: the DRAM internally refreshes the
+// neighbourhood (±BlastRadius) of the bank's last aggressor, each
+// victim at the hold time the refresh policy dictates (§8.5).
+func (c *Controller) tryRFM() bool {
+	for i, req := range c.rfmQ {
+		rk := &c.ranks[req.rank]
+		if c.cycle < rk.busyTill {
+			continue
+		}
+		bk := &c.banks[req.bank]
+		if bk.openRow != -1 {
+			if bk.canPRE(c.cycle) {
+				c.issuePRE(req.bank)
+				return true
+			}
+			continue
+		}
+		if !bk.free(c.cycle) {
+			continue
+		}
+		// Service: refresh the aggressor's neighbourhood inside DRAM.
+		aggr := bk.lastAggressor
+		var serviceNs float64
+		rows := c.victimRows(aggr)
+		for _, row := range rows {
+			hold := c.policy.VRRHold(req.bank, row, c.nowNs())
+			serviceNs += hold + c.cfg.Timing.TRP
+			c.recordVRRLatency(hold)
+			if c.audit != nil {
+				c.audit(req.bank, row, true)
+			}
+		}
+		if len(rows) == 0 {
+			serviceNs = c.cfg.Timing.TRFM
+		}
+		dur := c.cycles(serviceNs)
+		bk.busyTill = c.cycle + dur
+		bk.actReady = bk.busyTill
+		c.stats.RFMs++
+		c.stats.PrevRefBusy += dur
+		c.stats.VRRs += uint64(len(rows))
+		c.rfmQ = append(c.rfmQ[:i], c.rfmQ[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// tryVRR services one queued preventive refresh.
+func (c *Controller) tryVRR() bool {
+	for i, req := range c.vrrQ {
+		bk := &c.banks[req.bank]
+		if c.cycle < c.ranks[c.bankRank(req.bank)].busyTill {
+			continue
+		}
+		if bk.openRow != -1 {
+			if bk.canPRE(c.cycle) {
+				c.issuePRE(req.bank)
+				return true
+			}
+			continue
+		}
+		if !bk.canACT(c.cycle) {
+			continue
+		}
+		hold := c.policy.VRRHold(req.bank, req.row, c.nowNs())
+		dur := c.cycles(hold + c.cfg.Timing.TRP)
+		bk.busyTill = c.cycle + dur
+		bk.actReady = bk.busyTill
+		c.recordVRRLatency(hold)
+		c.stats.VRRs++
+		c.stats.PrevRefBusy += dur
+		if c.audit != nil {
+			c.audit(req.bank, req.row, true)
+		}
+		c.vrrQ = append(c.vrrQ[:i], c.vrrQ[i+1:]...)
+		return true
+	}
+	return false
+}
+
+func (c *Controller) recordVRRLatency(holdNs float64) {
+	c.stats.VRRRestoreNs += holdNs
+	if holdNs >= c.cfg.Timing.TRAS*0.999 {
+		c.stats.VRRFull++
+	} else {
+		c.stats.VRRPartial++
+	}
+}
+
+// victimRows returns the rows within the blast radius of aggr.
+func (c *Controller) victimRows(aggr int) []int {
+	if aggr < 0 {
+		return nil
+	}
+	rows := make([]int, 0, 2*c.cfg.BlastRadius)
+	for d := 1; d <= c.cfg.BlastRadius; d++ {
+		if aggr-d >= 0 {
+			rows = append(rows, aggr-d)
+		}
+		if aggr+d < c.cfg.Geometry.Rows {
+			rows = append(rows, aggr+d)
+		}
+	}
+	return rows
+}
+
+// tryDemand schedules one demand command with FR-FCFS.
+func (c *Controller) tryDemand() {
+	// Write drain hysteresis.
+	if !c.draining && len(c.writeQ) >= int(float64(c.cfg.WriteQueue)*c.cfg.DrainHi) {
+		c.draining = true
+	}
+	if c.draining && len(c.writeQ) <= int(float64(c.cfg.WriteQueue)*c.cfg.DrainLo) {
+		c.draining = false
+	}
+	q := &c.readQ
+	if c.draining || len(c.readQ) == 0 {
+		q = &c.writeQ
+	}
+
+	// First ready: oldest row-hit whose column command can issue now.
+	// Ready read columns always take priority — even mid-drain —
+	// otherwise a drain whose writes conflict with an open read row
+	// can livelock the read (close the row at tRAS, reopen, repeat).
+	if i, b := c.firstReadyColumn(c.readQ); i >= 0 {
+		c.issueColumn(i, &c.readQ, b)
+		return
+	}
+	if q == &c.writeQ {
+		if i, b := c.firstReadyColumn(c.writeQ); i >= 0 {
+			c.issueColumn(i, &c.writeQ, b)
+			return
+		}
+	}
+	if len(*q) == 0 {
+		return
+	}
+	// Then FCFS: progress the oldest request.
+	req := (*q)[0]
+	b := c.bankFor(req)
+	bk := &c.banks[b]
+	switch {
+	case bk.openRow == -1:
+		if bk.canACT(c.cycle) && c.ranks[c.bankRank(b)].canACT(c.cycle, c.cFAW, c.cRRD) {
+			c.issueACT(b, req.Addr.Row, req.Meta)
+		}
+	case bk.openRow != req.Addr.Row:
+		if bk.canPRE(c.cycle) {
+			c.issuePRE(b)
+		}
+	}
+}
+
+// firstReadyColumn returns the oldest request in q whose column
+// command can issue this cycle, with its bank (-1 if none).
+func (c *Controller) firstReadyColumn(q []*Request) (int, int) {
+	for i, req := range q {
+		b := c.bankFor(req)
+		bk := &c.banks[b]
+		if bk.openRow == req.Addr.Row && c.canColumn(req, bk, req.Write) {
+			return i, b
+		}
+	}
+	return -1, -1
+}
+
+func (c *Controller) bankFor(req *Request) int {
+	return c.cfg.Geometry.FlatBank(req.Addr)
+}
+
+func (c *Controller) canColumn(req *Request, bk *bank, write bool) bool {
+	if !bk.free(c.cycle) {
+		return false
+	}
+	if c.cycle < c.bgColReady[c.bankGroupOf(req)] {
+		return false // tCCD_L within the bank group
+	}
+	if write {
+		return c.cycle >= bk.wrReady && c.cycle+c.cCWL >= c.busUntil
+	}
+	return c.cycle >= bk.rdReady && c.cycle+c.cCL >= c.busUntil
+}
+
+// bankGroupOf returns the dense bank-group index of a request.
+func (c *Controller) bankGroupOf(req *Request) int {
+	g := c.cfg.Geometry
+	return (req.Addr.Channel*g.Ranks+req.Addr.Rank)*g.BankGroups + req.Addr.BankGroup
+}
+
+// issueACT opens a row and notifies the mitigation mechanism. ACTs on
+// behalf of mitigation metadata (meta=true) still disturb neighbours
+// physically (the audit sees them) but are not fed back into the
+// mechanism's own tracker — real trackers place their tables in
+// reserved rows they do not monitor, and the feedback loop would
+// otherwise be unbounded.
+func (c *Controller) issueACT(b, row int, meta bool) {
+	bk := &c.banks[b]
+	bk.openRow = row
+	bk.lastAggressor = row
+	bk.rdReady = c.cycle + c.cRCD
+	bk.wrReady = c.cycle + c.cRCD
+	bk.preReady = c.cycle + c.cRAS
+	c.ranks[c.bankRank(b)].recordACT(c.cycle)
+	c.stats.Acts++
+	c.stats.DemandBusy += uint64(c.cRAS)
+	if c.audit != nil {
+		c.audit(b, row, false)
+	}
+	if meta {
+		return
+	}
+
+	act := c.mitig.OnActivate(b, row)
+	for _, vr := range act.RefreshRows {
+		if vr >= 0 && vr < c.cfg.Geometry.Rows {
+			c.vrrQ = append(c.vrrQ, vrrReq{bank: b, row: vr})
+		}
+	}
+	if act.RFM {
+		c.rfmQ = append(c.rfmQ, rfmReq{rank: c.bankRank(b), bank: b})
+	}
+	if act.MetaReads > 0 || act.MetaWrites > 0 {
+		c.queueMeta(b, act.MetaReads, act.MetaWrites)
+	}
+}
+
+// issuePRE closes the open row of bank b.
+func (c *Controller) issuePRE(b int) {
+	bk := &c.banks[b]
+	bk.openRow = -1
+	bk.actReady = c.cycle + c.cRP
+	c.stats.Pres++
+}
+
+// issueColumn issues the RD/WR for (*q)[i] and removes it.
+func (c *Controller) issueColumn(i int, q *[]*Request, b int) {
+	req := (*q)[i]
+	bk := &c.banks[b]
+	c.bgColReady[c.bankGroupOf(req)] = c.cycle + c.cCCD
+	if req.Write {
+		bk.wrReady = c.cycle + c.cCCD
+		bk.rdReady = c.cycle + c.cCWL + c.cBL + c.cWTR
+		bk.preReady = maxU64(bk.preReady, c.cycle+c.cCWL+c.cBL+c.cWR)
+		c.busUntil = c.cycle + c.cCWL + c.cBL
+		c.stats.Writes++
+	} else {
+		bk.rdReady = c.cycle + c.cCCD
+		bk.preReady = maxU64(bk.preReady, c.cycle+c.cRTP)
+		c.busUntil = c.cycle + c.cCL + c.cBL
+		c.stats.Reads++
+		latency := c.cycle + c.cCL + c.cBL + c.cfg.ExtraLatency
+		if !req.Meta {
+			c.stats.ReadLatencySum += latency - req.Arrival
+			c.stats.ReadCount++
+		}
+		if req.Done != nil {
+			c.completions.schedule(latency, req.Done)
+		}
+	}
+	*q = append((*q)[:i], (*q)[i+1:]...)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package memsys
+
+// Action is what a mitigation mechanism asks the controller to do in
+// response to an observed activation.
+type Action struct {
+	// RefreshRows are bank-local victim rows to preventively refresh
+	// (VRR). The controller clamps out-of-range rows.
+	RefreshRows []int
+	// RFM requests a refresh-management command to the activated
+	// bank's rank; the DRAM refreshes the neighbourhood of the bank's
+	// recent aggressor internally.
+	RFM bool
+	// MetaReads/MetaWrites inject metadata DRAM traffic (e.g. Hydra's
+	// row-count-table fills and write-backs).
+	MetaReads, MetaWrites int
+}
+
+// Mitigation is the plugin interface RowHammer mitigation mechanisms
+// implement. The controller calls OnActivate for every demand ACT
+// (bank is the flat bank index, row the bank-local row address) and
+// OnRefreshWindow once per elapsed tREFW.
+type Mitigation interface {
+	Name() string
+	OnActivate(bank, row int) Action
+	OnRefreshWindow()
+}
+
+// NoMitigation is the paper's "No mitigation" baseline.
+type NoMitigation struct{}
+
+// Name implements Mitigation.
+func (NoMitigation) Name() string { return "None" }
+
+// OnActivate implements Mitigation (never acts).
+func (NoMitigation) OnActivate(int, int) Action { return Action{} }
+
+// OnRefreshWindow implements Mitigation.
+func (NoMitigation) OnRefreshWindow() {}
+
+// TimingOverhead is optionally implemented by mitigation mechanisms
+// that change base DRAM timings. PRAC (JESD79-5C) extends the
+// precharge time so the in-DRAM activation counter can be updated,
+// which taxes every row cycle whether or not a back-off ever fires.
+type TimingOverhead interface {
+	ExtraPrechargeNs() float64
+}
+
+// RefreshPolicy decides the charge-restoration hold time of each
+// preventive refresh — the PaCRAM hook (§8). The default NominalPolicy
+// always uses the full nominal tRAS.
+type RefreshPolicy interface {
+	// VRRHold returns the restoration hold time in ns for a preventive
+	// refresh of the given bank-local row, updating any per-row state.
+	VRRHold(bank, row int, nowNs float64) float64
+	// PeriodicScale returns the scale factor for periodic-refresh
+	// latency (Appendix B extension); 1.0 means nominal tRFC.
+	PeriodicScale(nowNs float64) float64
+}
+
+// NominalPolicy performs every restoration at nominal latency.
+type NominalPolicy struct{ TRASNs float64 }
+
+// VRRHold implements RefreshPolicy.
+func (p NominalPolicy) VRRHold(int, int, float64) float64 { return p.TRASNs }
+
+// PeriodicScale implements RefreshPolicy.
+func (p NominalPolicy) PeriodicScale(float64) float64 { return 1.0 }

@@ -1,0 +1,99 @@
+// Package memsys implements the cycle-level DDR5 memory system of the
+// paper's evaluation (Table 2): a memory controller with 64-entry
+// read/write queues, FR-FCFS scheduling, MOP address mapping, periodic
+// refresh, RFM support, and a preventive-refresh (VRR) path whose
+// charge-restoration latency is programmable per refresh — the hook
+// PaCRAM uses. RowHammer mitigation mechanisms plug in as activation
+// observers.
+package memsys
+
+import (
+	"container/heap"
+
+	"pacram/internal/ddr"
+)
+
+// Request is one in-flight memory request.
+type Request struct {
+	Addr    ddr.Address
+	Line    uint64 // line-aligned physical address (for forwarding)
+	Write   bool
+	Done    func() // called at data return (reads); may be nil
+	Arrival uint64 // cycle the request entered the queue
+	Meta    bool   // metadata traffic (e.g. Hydra's RCT accesses)
+}
+
+// completion is a scheduled callback.
+type completion struct {
+	at uint64
+	fn func()
+}
+
+// completionHeap is a min-heap of completions by cycle.
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+func (h *completionHeap) schedule(at uint64, fn func()) {
+	heap.Push(h, completion{at: at, fn: fn})
+}
+
+// runDue fires all completions due at or before cycle.
+func (h *completionHeap) runDue(cycle uint64) {
+	for h.Len() > 0 && (*h)[0].at <= cycle {
+		c := heap.Pop(h).(completion)
+		c.fn()
+	}
+}
+
+// Stats aggregates controller activity for performance, energy and
+// Fig. 3's busy-fraction metric.
+type Stats struct {
+	Cycles uint64
+
+	Acts, Pres, Reads, Writes uint64
+	Refs, RFMs, VRRs          uint64
+	VRRFull, VRRPartial       uint64
+	MetaReads, MetaWrites     uint64
+
+	// Busy-cycle accounting, in bank-cycles (one bank occupied for one
+	// cycle). Fig. 3 reports PrevRefBusy / (Cycles * banks).
+	DemandBusy  uint64
+	RefBusy     uint64
+	PrevRefBusy uint64 // VRR + RFM service time
+
+	// Restoration time integrals (ns), for the energy model.
+	VRRRestoreNs float64
+	RefRestoreNs float64
+
+	ReadLatencySum uint64
+	ReadCount      uint64
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.ReadCount == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.ReadCount)
+}
+
+// PrevRefBusyFraction returns the fraction of execution time during
+// which a DRAM bank is busy performing preventive refreshes (the
+// Fig. 3 metric), averaged over banks.
+func (s Stats) PrevRefBusyFraction(banks int) float64 {
+	if s.Cycles == 0 || banks == 0 {
+		return 0
+	}
+	return float64(s.PrevRefBusy) / (float64(s.Cycles) * float64(banks))
+}

@@ -1,0 +1,121 @@
+package mitigation
+
+import "pacram/internal/memsys"
+
+// grapheneDivisor sets Graphene's refresh threshold T = NRH/2: a row
+// is preventively refreshed well before its activation count can reach
+// the RowHammer threshold, accounting for counts accrued before
+// tracking began.
+const grapheneDivisor = 2
+
+// Graphene tracks per-bank frequent aggressors with the Misra-Gries
+// algorithm: a table of W/T counters per bank (W = worst-case
+// activations per refresh window) guarantees any row activated more
+// than T times in the window is tracked. Tables reset every window.
+type Graphene struct {
+	cfg       Config
+	threshold int
+	tableSize int
+	tables    []*mgTable
+}
+
+// NewGraphene builds Graphene for the configured NRH.
+func NewGraphene(cfg Config) *Graphene {
+	t := cfg.NRH / grapheneDivisor
+	if t < 1 {
+		t = 1
+	}
+	size := cfg.WindowActs/t + 1
+	g := &Graphene{cfg: cfg, threshold: t, tableSize: size}
+	g.tables = make([]*mgTable, cfg.Banks)
+	for i := range g.tables {
+		g.tables[i] = newMGTable(size)
+	}
+	return g
+}
+
+// Name implements memsys.Mitigation.
+func (m *Graphene) Name() string { return NameGraphene }
+
+// Threshold returns the refresh-trigger count.
+func (m *Graphene) Threshold() int { return m.threshold }
+
+// TableSize returns the per-bank counter-table size (the paper's area
+// story: this grows as NRH shrinks).
+func (m *Graphene) TableSize() int { return m.tableSize }
+
+// OnActivate implements memsys.Mitigation.
+func (m *Graphene) OnActivate(bank, row int) memsys.Action {
+	if m.tables[bank].observe(row) >= m.threshold {
+		m.tables[bank].resetCount(row)
+		return memsys.Action{RefreshRows: m.cfg.victims(row)}
+	}
+	return memsys.Action{}
+}
+
+// OnRefreshWindow implements memsys.Mitigation.
+func (m *Graphene) OnRefreshWindow() {
+	for _, t := range m.tables {
+		t.clear()
+	}
+}
+
+// mgTable is a Misra-Gries summary: counts[row] tracks an estimated
+// activation count; spill is the global decrement baseline. The
+// standard guarantee: any row with true count > spill is present, and
+// estimate >= true count - spill.
+type mgTable struct {
+	capacity int
+	counts   map[int]int
+	spill    int
+}
+
+func newMGTable(capacity int) *mgTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &mgTable{capacity: capacity, counts: make(map[int]int)}
+}
+
+// observe records one activation of row and returns its estimate.
+func (t *mgTable) observe(row int) int {
+	if c, ok := t.counts[row]; ok {
+		t.counts[row] = c + 1
+		return c + 1
+	}
+	if len(t.counts) < t.capacity {
+		t.counts[row] = t.spill + 1
+		return t.spill + 1
+	}
+	// Table full: bump the spillover and admit the row if it now ties
+	// the minimum (classic space-saving replacement).
+	t.spill++
+	minRow, minCount := -1, int(^uint(0)>>1)
+	for r, c := range t.counts {
+		if c < minCount {
+			minRow, minCount = r, c
+		}
+	}
+	if t.spill >= minCount {
+		delete(t.counts, minRow)
+		t.counts[row] = t.spill + 1
+		return t.spill + 1
+	}
+	return t.spill
+}
+
+// resetCount re-arms a row after its victims were refreshed.
+func (t *mgTable) resetCount(row int) {
+	if _, ok := t.counts[row]; ok {
+		t.counts[row] = t.spill
+	}
+}
+
+// estimate returns the current estimate for row (0 if untracked).
+func (t *mgTable) estimate(row int) int { return t.counts[row] }
+
+// clear empties the table (refresh-window reset).
+func (t *mgTable) clear() {
+	t.counts = make(map[int]int)
+	t.spill = 0
+}

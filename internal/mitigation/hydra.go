@@ -1,0 +1,117 @@
+package mitigation
+
+import "pacram/internal/memsys"
+
+// Hydra sizing constants (following the ISCA'22 configuration, scaled
+// by NRH): group counters cover hydraGroupSize rows; a group crossing
+// NRH/hydraGroupDiv switches to per-row tracking; a row crossing
+// NRH/hydraRowDiv is preventively refreshed. The row counter table
+// (RCT) lives in DRAM; an SRAM cache (RCC) of hydraRCCEntries entries
+// front-ends it, and every miss costs one DRAM read plus one eventual
+// write-back — the metadata traffic responsible for Hydra's slowdown
+// despite its low preventive-refresh count (§3).
+const (
+	hydraGroupSize  = 128
+	hydraGroupDiv   = 4
+	hydraRowDiv     = 2
+	hydraRCCEntries = 4096
+)
+
+// Hydra is the hybrid two-level tracker.
+type Hydra struct {
+	cfg       Config
+	groupThr  int
+	rowThr    int
+	gct       []map[int]int // per bank: group -> count
+	rct       []map[int]int // per bank: row -> count (rows in hot groups)
+	rcc       map[int]bool  // cached RCT entries, keyed bank*Rows+row
+	rccQueue  []int         // FIFO eviction order
+	rccHits   uint64
+	rccMisses uint64
+}
+
+// NewHydra builds Hydra for the configured NRH.
+func NewHydra(cfg Config) *Hydra {
+	h := &Hydra{
+		cfg:      cfg,
+		groupThr: maxInt(1, cfg.NRH/hydraGroupDiv),
+		rowThr:   maxInt(1, cfg.NRH/hydraRowDiv),
+		rcc:      make(map[int]bool, hydraRCCEntries),
+	}
+	h.reset()
+	return h
+}
+
+func (m *Hydra) reset() {
+	m.gct = make([]map[int]int, m.cfg.Banks)
+	m.rct = make([]map[int]int, m.cfg.Banks)
+	for i := 0; i < m.cfg.Banks; i++ {
+		m.gct[i] = make(map[int]int)
+		m.rct[i] = make(map[int]int)
+	}
+	m.rcc = make(map[int]bool, hydraRCCEntries)
+	m.rccQueue = m.rccQueue[:0]
+}
+
+// Name implements memsys.Mitigation.
+func (m *Hydra) Name() string { return NameHydra }
+
+// RCCHitRate returns the row-counter-cache hit rate so far.
+func (m *Hydra) RCCHitRate() float64 {
+	tot := m.rccHits + m.rccMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.rccHits) / float64(tot)
+}
+
+// OnActivate implements memsys.Mitigation.
+func (m *Hydra) OnActivate(bank, row int) memsys.Action {
+	group := row / hydraGroupSize
+	g := m.gct[bank]
+	if cnt, tracking := g[group], g[group] >= m.groupThr; !tracking {
+		g[group] = cnt + 1
+		return memsys.Action{}
+	}
+
+	// Per-row tracking: consult the RCC, miss goes to DRAM.
+	var act memsys.Action
+	key := bank*m.cfg.Rows + row
+	if m.rcc[key] {
+		m.rccHits++
+	} else {
+		m.rccMisses++
+		act.MetaReads, act.MetaWrites = 1, 1
+		m.rcc[key] = true
+		m.rccQueue = append(m.rccQueue, key)
+		if len(m.rccQueue) > hydraRCCEntries {
+			evict := m.rccQueue[0]
+			m.rccQueue = m.rccQueue[1:]
+			delete(m.rcc, evict)
+		}
+	}
+
+	rc := m.rct[bank]
+	if _, ok := rc[row]; !ok {
+		// New per-row counter starts at the group threshold (the row
+		// may have received up to that many of the group's counts).
+		rc[row] = m.groupThr
+	}
+	rc[row]++
+	if rc[row] >= m.rowThr {
+		rc[row] = 0
+		act.RefreshRows = m.cfg.victims(row)
+	}
+	return act
+}
+
+// OnRefreshWindow implements memsys.Mitigation: all counters reset
+// each refresh window.
+func (m *Hydra) OnRefreshWindow() { m.reset() }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

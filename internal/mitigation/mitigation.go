@@ -1,0 +1,263 @@
+// Package mitigation implements the five state-of-the-art RowHammer
+// mitigation mechanisms the paper evaluates PaCRAM with (§9.1):
+//
+//   - PARA (Kim et al., ISCA'14): probabilistic adjacent-row refresh —
+//     near-zero area, high preventive-refresh traffic.
+//   - RFM (JEDEC DDR5): per-bank rolling activation counters trigger
+//     refresh-management commands — near-zero area, highest traffic.
+//   - PRAC (JEDEC DDR5 / JESD79-5C): per-row activation counters in
+//     DRAM with a back-off signal — precise, high area (in DRAM).
+//   - Hydra (Qureshi et al., ISCA'22): two-level group/row counters
+//     with the row table stored in DRAM — low SRAM, extra DRAM traffic.
+//   - Graphene (Park et al., MICRO'20): Misra-Gries frequent-element
+//     tracking in SRAM — precise, large SRAM at low NRH.
+//
+// Each implements memsys.Mitigation; thresholds derive from the
+// configured RowHammer threshold (NRH), which PaCRAM scales down when
+// it reduces preventive-refresh latency.
+package mitigation
+
+import (
+	"fmt"
+
+	"pacram/internal/memsys"
+	"pacram/internal/xrand"
+)
+
+// Config parameterizes a mitigation instance.
+type Config struct {
+	// NRH is the RowHammer threshold the mechanism must defend.
+	NRH int
+	// Rows and Banks describe the protected subsystem.
+	Rows, Banks int
+	// BlastRadius is how far victims extend around an aggressor.
+	BlastRadius int
+	// WindowActs is the worst-case activations per refresh window to a
+	// bank (tREFW / tRC), used to size Graphene's tables.
+	WindowActs int
+	Seed       uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NRH < 1:
+		return fmt.Errorf("mitigation: NRH must be >= 1, got %d", c.NRH)
+	case c.Rows < 1 || c.Banks < 1:
+		return fmt.Errorf("mitigation: need positive rows/banks")
+	case c.BlastRadius < 1:
+		return fmt.Errorf("mitigation: blast radius must be >= 1")
+	case c.WindowActs < 1:
+		return fmt.Errorf("mitigation: WindowActs must be >= 1")
+	}
+	return nil
+}
+
+// victims returns the rows within the blast radius of row.
+func (c Config) victims(row int) []int {
+	out := make([]int, 0, 2*c.BlastRadius)
+	for d := 1; d <= c.BlastRadius; d++ {
+		if row-d >= 0 {
+			out = append(out, row-d)
+		}
+		if row+d < c.Rows {
+			out = append(out, row+d)
+		}
+	}
+	return out
+}
+
+// Mechanism names as used in figures.
+const (
+	NamePARA     = "PARA"
+	NameRFM      = "RFM"
+	NamePRAC     = "PRAC"
+	NameHydra    = "Hydra"
+	NameGraphene = "Graphene"
+)
+
+// AllNames lists the mechanisms in the paper's presentation order.
+func AllNames() []string {
+	return []string{NamePARA, NameRFM, NamePRAC, NameHydra, NameGraphene}
+}
+
+// New builds a mechanism by name.
+func New(name string, cfg Config) (memsys.Mitigation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case NamePARA:
+		return NewPARA(cfg), nil
+	case NameRFM:
+		return NewRFM(cfg), nil
+	case NamePRAC:
+		return NewPRAC(cfg), nil
+	case NameHydra:
+		return NewHydra(cfg), nil
+	case NameGraphene:
+		return NewGraphene(cfg), nil
+	}
+	return nil, fmt.Errorf("mitigation: unknown mechanism %q", name)
+}
+
+// ---------------------------------------------------------------- PARA
+
+// paraConstant calibrates PARA's per-activation refresh probability
+// p = paraConstant/NRH: every NRH activations trigger ~paraConstant
+// single-victim refreshes in expectation, bounding the probability an
+// aggressor reaches NRH undetected.
+const paraConstant = 4.0
+
+// PARA is the probabilistic mechanism: on each activation, with
+// probability p, refresh one uniformly chosen victim in the blast
+// radius.
+type PARA struct {
+	cfg Config
+	p   float64
+	rng *xrand.Rand
+}
+
+// NewPARA builds PARA for the configured NRH.
+func NewPARA(cfg Config) *PARA {
+	p := paraConstant / float64(cfg.NRH)
+	if p > 1 {
+		p = 1
+	}
+	return &PARA{cfg: cfg, p: p, rng: xrand.Derive(cfg.Seed, 0x9A)}
+}
+
+// Name implements memsys.Mitigation.
+func (m *PARA) Name() string { return NamePARA }
+
+// Probability returns the per-activation trigger probability.
+func (m *PARA) Probability() float64 { return m.p }
+
+// OnActivate implements memsys.Mitigation.
+func (m *PARA) OnActivate(bank, row int) memsys.Action {
+	if !m.rng.Bool(m.p) {
+		return memsys.Action{}
+	}
+	vs := m.cfg.victims(row)
+	if len(vs) == 0 {
+		return memsys.Action{}
+	}
+	return memsys.Action{RefreshRows: []int{vs[m.rng.Intn(len(vs))]}}
+}
+
+// OnRefreshWindow implements memsys.Mitigation (stateless).
+func (m *PARA) OnRefreshWindow() {}
+
+// ----------------------------------------------------------------- RFM
+
+// rfmDivisor sets RAAIMT = NRH/rfmDivisor: the rank must receive a
+// refresh-management command at least every RAAIMT activations per
+// bank, because bank-granular counting cannot tell which row was hot.
+const rfmDivisor = 3
+
+// RFM models the DDR5 refresh-management interface: per-bank rolling
+// activation (RAA) counters; crossing RAAIMT emits an RFM command.
+type RFM struct {
+	cfg    Config
+	raaimt int
+	raa    []int
+}
+
+// NewRFM builds RFM for the configured NRH.
+func NewRFM(cfg Config) *RFM {
+	raaimt := cfg.NRH / rfmDivisor
+	if raaimt < 1 {
+		raaimt = 1
+	}
+	return &RFM{cfg: cfg, raaimt: raaimt, raa: make([]int, cfg.Banks)}
+}
+
+// Name implements memsys.Mitigation.
+func (m *RFM) Name() string { return NameRFM }
+
+// RAAIMT returns the configured RFM trigger interval.
+func (m *RFM) RAAIMT() int { return m.raaimt }
+
+// OnActivate implements memsys.Mitigation.
+func (m *RFM) OnActivate(bank, row int) memsys.Action {
+	m.raa[bank]++
+	if m.raa[bank] >= m.raaimt {
+		m.raa[bank] -= m.raaimt
+		return memsys.Action{RFM: true}
+	}
+	return memsys.Action{}
+}
+
+// OnRefreshWindow implements memsys.Mitigation: periodic refresh
+// restores every row, so rolling counters can be relaxed; the DDR5
+// spec decrements RAA on REF, approximated here by a reset.
+func (m *RFM) OnRefreshWindow() {
+	for i := range m.raa {
+		m.raa[i] = 0
+	}
+}
+
+// ---------------------------------------------------------------- PRAC
+
+// pracDivisor sets the per-row back-off threshold to NRH/pracDivisor,
+// leaving headroom for activations that land while the back-off is
+// serviced.
+const pracDivisor = 2
+
+// pracPrechargePenaltyNs is the extra precharge time PRAC DRAM needs
+// to read-modify-write the per-row activation counter (JESD79-5C
+// lengthens the row cycle; prior analyses put the tax at ~10% of tRC).
+const pracPrechargePenaltyNs = 5.0
+
+// PRAC models per-row activation counting in DRAM with the DDR5
+// back-off protocol: when a row's counter crosses the threshold the
+// DRAM requests an RFM, which refreshes that row's neighbourhood.
+type PRAC struct {
+	cfg       Config
+	threshold int
+	counts    []map[int]int // per bank: row -> activation count
+}
+
+// NewPRAC builds PRAC for the configured NRH.
+func NewPRAC(cfg Config) *PRAC {
+	counts := make([]map[int]int, cfg.Banks)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	th := cfg.NRH / pracDivisor
+	if th < 1 {
+		th = 1
+	}
+	return &PRAC{cfg: cfg, threshold: th, counts: counts}
+}
+
+// Name implements memsys.Mitigation.
+func (m *PRAC) Name() string { return NamePRAC }
+
+// ExtraPrechargeNs implements memsys.TimingOverhead: the per-row
+// counter update lengthens every precharge.
+func (m *PRAC) ExtraPrechargeNs() float64 { return pracPrechargePenaltyNs }
+
+// Threshold returns the per-row back-off threshold.
+func (m *PRAC) Threshold() int { return m.threshold }
+
+// OnActivate implements memsys.Mitigation.
+func (m *PRAC) OnActivate(bank, row int) memsys.Action {
+	m.counts[bank][row]++
+	if m.counts[bank][row] >= m.threshold {
+		m.counts[bank][row] = 0
+		// Back-off: the ensuing RFM refreshes this row's victims
+		// (the controller refreshes the bank's last aggressor, which
+		// is exactly this row).
+		return memsys.Action{RFM: true}
+	}
+	return memsys.Action{}
+}
+
+// OnRefreshWindow implements memsys.Mitigation: periodic refresh fully
+// restores all rows, so counters restart.
+func (m *PRAC) OnRefreshWindow() {
+	for i := range m.counts {
+		m.counts[i] = make(map[int]int)
+	}
+}

@@ -1,0 +1,362 @@
+package mitigation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacram/internal/memsys"
+)
+
+func testCfg(nrh int) Config {
+	return Config{
+		NRH:         nrh,
+		Rows:        4096,
+		Banks:       8,
+		BlastRadius: 2,
+		WindowActs:  100000,
+		Seed:        7,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{NRH: 0, Rows: 1, Banks: 1, BlastRadius: 1, WindowActs: 1},
+		{NRH: 1, Rows: 0, Banks: 1, BlastRadius: 1, WindowActs: 1},
+		{NRH: 1, Rows: 1, Banks: 1, BlastRadius: 0, WindowActs: 1},
+		{NRH: 1, Rows: 1, Banks: 1, BlastRadius: 1, WindowActs: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if testCfg(1024).Validate() != nil {
+		t.Fatal("good config rejected")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range AllNames() {
+		m, err := New(name, testCfg(512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("name mismatch: %s vs %s", m.Name(), name)
+		}
+	}
+	if _, err := New("nope", testCfg(512)); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestVictimsRespectBlastRadiusAndEdges(t *testing.T) {
+	cfg := testCfg(512)
+	vs := cfg.victims(100)
+	if len(vs) != 4 {
+		t.Fatalf("interior row has %d victims, want 4", len(vs))
+	}
+	vs = cfg.victims(0)
+	for _, v := range vs {
+		if v < 0 {
+			t.Fatalf("negative victim row %d", v)
+		}
+	}
+	if len(vs) != 2 {
+		t.Fatalf("edge row has %d victims, want 2", len(vs))
+	}
+}
+
+func TestPARATriggerRate(t *testing.T) {
+	cfg := testCfg(1000)
+	m := NewPARA(cfg)
+	if p := m.Probability(); p != paraConstant/1000 {
+		t.Fatalf("probability %g", p)
+	}
+	triggers := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if len(m.OnActivate(0, 500).RefreshRows) > 0 {
+			triggers++
+		}
+	}
+	got := float64(triggers) / n
+	want := m.Probability()
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("trigger rate %.4f, want ~%.4f", got, want)
+	}
+}
+
+func TestPARAProbabilityCapped(t *testing.T) {
+	if NewPARA(testCfg(1)).Probability() != 1 {
+		t.Fatal("probability must cap at 1")
+	}
+}
+
+func TestPARARefreshesOnlyNeighbors(t *testing.T) {
+	m := NewPARA(testCfg(8))
+	for i := 0; i < 1000; i++ {
+		act := m.OnActivate(0, 100)
+		for _, v := range act.RefreshRows {
+			d := v - 100
+			if d == 0 || d < -2 || d > 2 {
+				t.Fatalf("PARA refreshed row %d for aggressor 100", v)
+			}
+		}
+	}
+}
+
+func TestRFMCadence(t *testing.T) {
+	cfg := testCfg(300)
+	m := NewRFM(cfg)
+	if m.RAAIMT() != 100 {
+		t.Fatalf("RAAIMT = %d, want 100", m.RAAIMT())
+	}
+	rfms := 0
+	for i := 0; i < 1000; i++ {
+		if m.OnActivate(3, i%64).RFM {
+			rfms++
+		}
+	}
+	if rfms != 10 {
+		t.Fatalf("%d RFMs over 1000 ACTs with RAAIMT 100", rfms)
+	}
+	// Banks are independent.
+	if m.OnActivate(4, 0).RFM {
+		t.Fatal("fresh bank triggered RFM immediately")
+	}
+}
+
+func TestRFMWindowReset(t *testing.T) {
+	m := NewRFM(testCfg(300))
+	for i := 0; i < 99; i++ {
+		m.OnActivate(0, 0)
+	}
+	m.OnRefreshWindow()
+	if m.OnActivate(0, 0).RFM {
+		t.Fatal("RAA counter survived the refresh window")
+	}
+}
+
+func TestPRACBackoffOnHotRow(t *testing.T) {
+	cfg := testCfg(512)
+	m := NewPRAC(cfg)
+	if m.Threshold() != 256 {
+		t.Fatalf("threshold %d", m.Threshold())
+	}
+	// Hammer one row: back-off exactly at the threshold.
+	for i := 1; i < 256; i++ {
+		if m.OnActivate(0, 7).RFM {
+			t.Fatalf("back-off fired early at %d", i)
+		}
+	}
+	if !m.OnActivate(0, 7).RFM {
+		t.Fatal("back-off did not fire at threshold")
+	}
+	// Counter reset: next activation is count 1 again.
+	if m.OnActivate(0, 7).RFM {
+		t.Fatal("counter not reset after back-off")
+	}
+}
+
+func TestPRACDistinctRowsNoBackoff(t *testing.T) {
+	m := NewPRAC(testCfg(512))
+	for i := 0; i < 100000; i++ {
+		if m.OnActivate(0, i%4096).RFM {
+			t.Fatal("spread accesses must not trigger back-off")
+		}
+	}
+}
+
+func TestHydraTracksHotRows(t *testing.T) {
+	cfg := testCfg(512)
+	m := NewHydra(cfg)
+	refreshed := false
+	var meta int
+	for i := 0; i < 600; i++ {
+		act := m.OnActivate(0, 999)
+		meta += act.MetaReads
+		if len(act.RefreshRows) > 0 {
+			refreshed = true
+			break
+		}
+	}
+	if !refreshed {
+		t.Fatal("Hydra never refreshed a hammered row")
+	}
+	if meta == 0 {
+		t.Fatal("Hydra tracked a row without any RCT traffic")
+	}
+}
+
+func TestHydraRCCCachesTraffic(t *testing.T) {
+	cfg := testCfg(512)
+	m := NewHydra(cfg)
+	// Warm the group counter, then the row counter cache.
+	var metaFirst, metaLater int
+	for i := 0; i < 200; i++ {
+		metaFirst += m.OnActivate(0, 50).MetaReads
+	}
+	for i := 0; i < 200; i++ {
+		metaLater += m.OnActivate(0, 50).MetaReads
+	}
+	if metaLater >= metaFirst && metaLater > 1 {
+		t.Fatalf("RCC not caching: %d then %d meta reads", metaFirst, metaLater)
+	}
+	if m.RCCHitRate() == 0 {
+		t.Fatal("no RCC hits recorded")
+	}
+}
+
+func TestHydraWindowReset(t *testing.T) {
+	cfg := testCfg(512)
+	m := NewHydra(cfg)
+	for i := 0; i < 300; i++ {
+		m.OnActivate(0, 10)
+	}
+	m.OnRefreshWindow()
+	// After reset the group counter must gate again: the first
+	// activation produces no metadata traffic.
+	if act := m.OnActivate(0, 10); act.MetaReads != 0 {
+		t.Fatal("Hydra state survived the refresh window")
+	}
+}
+
+func TestGrapheneCatchesAggressor(t *testing.T) {
+	cfg := testCfg(512)
+	m := NewGraphene(cfg)
+	if m.Threshold() != 256 {
+		t.Fatalf("threshold %d", m.Threshold())
+	}
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		act := m.OnActivate(2, 77)
+		if len(act.RefreshRows) > 0 {
+			fired++
+			for _, v := range act.RefreshRows {
+				if d := v - 77; d == 0 || d < -2 || d > 2 {
+					t.Fatalf("refreshed non-neighbour %d", v)
+				}
+			}
+		}
+	}
+	// 1000 activations at threshold 256: between 2 and 4 refreshes.
+	if fired < 2 || fired > 4 {
+		t.Fatalf("fired %d times over 1000 ACTs at threshold 256", fired)
+	}
+}
+
+func TestGrapheneMisraGriesGuarantee(t *testing.T) {
+	// Property: for any access sequence, a row activated more than
+	// threshold times between table resets is always refreshed at
+	// least once (no false negatives — the security property).
+	cfg := testCfg(128) // threshold 64
+	f := func(noise []uint16) bool {
+		m := NewGraphene(cfg)
+		refreshed := false
+		hot := 500
+		// Interleave noise with a hot-row attack of 2x threshold.
+		for i := 0; i < 2*m.Threshold(); i++ {
+			if len(m.OnActivate(0, hot).RefreshRows) > 0 {
+				refreshed = true
+			}
+			for j := 0; j < 3 && i*3+j < len(noise); j++ {
+				m.OnActivate(0, int(noise[i*3+j])%cfg.Rows)
+			}
+		}
+		return refreshed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrapheneTableSizeScalesWithNRH(t *testing.T) {
+	small := NewGraphene(testCfg(1024)).TableSize()
+	large := NewGraphene(testCfg(32)).TableSize()
+	if large <= small {
+		t.Fatalf("table must grow as NRH shrinks: %d vs %d", small, large)
+	}
+}
+
+func TestGrapheneWindowReset(t *testing.T) {
+	m := NewGraphene(testCfg(128))
+	for i := 0; i < m.Threshold()-1; i++ {
+		m.OnActivate(0, 9)
+	}
+	m.OnRefreshWindow()
+	if len(m.OnActivate(0, 9).RefreshRows) > 0 {
+		t.Fatal("count survived the window reset")
+	}
+	if m.tables[0].estimate(9) > 1 {
+		t.Fatal("table not cleared")
+	}
+}
+
+func TestMGTableEviction(t *testing.T) {
+	tb := newMGTable(2)
+	tb.observe(1)
+	tb.observe(1)
+	tb.observe(2)
+	// Table full; a new row bumps spill and eventually displaces the
+	// minimum entry.
+	tb.observe(3)
+	tb.observe(3)
+	if tb.estimate(1) == 0 {
+		t.Fatal("heavy hitter evicted prematurely")
+	}
+	// The guarantee: estimate >= true count - spill for tracked rows.
+	if tb.estimate(1) < 2-tb.spill {
+		t.Fatal("Misra-Gries bound violated")
+	}
+}
+
+// All mechanisms implement the interface; only PRAC taxes timings.
+var (
+	_ memsys.Mitigation     = (*PARA)(nil)
+	_ memsys.Mitigation     = (*RFM)(nil)
+	_ memsys.Mitigation     = (*PRAC)(nil)
+	_ memsys.Mitigation     = (*Hydra)(nil)
+	_ memsys.Mitigation     = (*Graphene)(nil)
+	_ memsys.TimingOverhead = (*PRAC)(nil)
+)
+
+func TestPRACTimingPenalty(t *testing.T) {
+	m := NewPRAC(testCfg(512))
+	if m.ExtraPrechargeNs() <= 0 {
+		t.Fatal("PRAC must tax precharge time")
+	}
+	for _, other := range []memsys.Mitigation{
+		NewPARA(testCfg(512)), NewRFM(testCfg(512)),
+		NewHydra(testCfg(512)), NewGraphene(testCfg(512)),
+	} {
+		if _, ok := other.(memsys.TimingOverhead); ok {
+			t.Fatalf("%s should not implement TimingOverhead", other.Name())
+		}
+	}
+}
+
+func BenchmarkGrapheneOnActivate(b *testing.B) {
+	m := NewGraphene(testCfg(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(i%8, i%4096)
+	}
+}
+
+func BenchmarkHydraOnActivate(b *testing.B) {
+	m := NewHydra(testCfg(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(i%8, i%4096)
+	}
+}
+
+func BenchmarkPARAOnActivate(b *testing.B) {
+	m := NewPARA(testCfg(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnActivate(i%8, i%4096)
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim assembles the full simulated system of the paper's
+// evaluation (§9.1): trace-driven cores, the DDR5 memory controller,
+// a RowHammer mitigation mechanism, and optionally PaCRAM reducing the
+// mechanism's preventive-refresh latency. It is the engine behind
+// Figs. 3 and 16-19.
+package sim
+
+import (
+	"fmt"
+
+	pacram "pacram/internal/core"
+	"pacram/internal/cpu"
+	"pacram/internal/ddr"
+	"pacram/internal/energy"
+	"pacram/internal/memsys"
+	"pacram/internal/mitigation"
+	"pacram/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// MemCfg is the memory-system configuration.
+	MemCfg memsys.Config
+	// Mitigation names the mechanism ("" or "None" for the baseline).
+	Mitigation string
+	// NRH is the RowHammer threshold the mechanism is configured for
+	// (before PaCRAM scaling).
+	NRH int
+	// PaCRAM, when non-nil, reduces preventive-refresh latency and
+	// scales the mechanism's NRH per the derived configuration.
+	PaCRAM *pacram.Config
+	// PeriodicExtension additionally reduces periodic-refresh latency
+	// (Appendix B); requires PaCRAM.
+	PeriodicExtension bool
+	// Policy, when non-nil, overrides the refresh-latency policy
+	// entirely (used by the Fig. 19 periodic-refresh sweep).
+	Policy memsys.RefreshPolicy
+	// Workloads run one per core.
+	Workloads []trace.Spec
+	// Generators, when non-empty, replaces Workloads: one pre-built
+	// generator per core (e.g. file-trace replays via trace.NewReplay).
+	Generators []trace.Generator
+	// Instructions is the per-core instruction budget after warmup.
+	Instructions uint64
+	// Warmup instructions per core before measurement.
+	Warmup uint64
+	// MaxCycles bounds runaway simulations (0 = 400x instructions).
+	MaxCycles uint64
+	Seed      uint64
+}
+
+// DefaultOptions returns a fast, paper-shaped configuration for the
+// given workloads.
+func DefaultOptions(workloads ...trace.Spec) Options {
+	return Options{
+		MemCfg:       memsys.DefaultConfig(),
+		NRH:          1024,
+		Workloads:    workloads,
+		Instructions: 150_000,
+		Warmup:       15_000,
+		Seed:         0x51317,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// IPC per core over the measurement interval.
+	IPC []float64
+	// Cycles is the measured interval length.
+	Cycles uint64
+	// Stats are the controller statistics over the measurement
+	// interval (warmup subtracted).
+	Stats memsys.Stats
+	// Energy is the DRAM energy over the measurement interval.
+	Energy energy.Breakdown
+	// PrevRefBusyFraction is Fig. 3's metric.
+	PrevRefBusyFraction float64
+	// PartialFraction is the share of preventive refreshes issued at
+	// reduced latency (0 without PaCRAM).
+	PartialFraction float64
+	// ScaledNRH is the threshold the mechanism actually ran with.
+	ScaledNRH int
+}
+
+// SumIPC returns total system throughput.
+func (r Result) SumIPC() float64 {
+	s := 0.0
+	for _, v := range r.IPC {
+		s += v
+	}
+	return s
+}
+
+// Run executes one simulation.
+func Run(opt Options) (Result, error) {
+	if len(opt.Workloads) == 0 && len(opt.Generators) == 0 {
+		return Result{}, fmt.Errorf("sim: no workloads")
+	}
+	if opt.Instructions == 0 {
+		return Result{}, fmt.Errorf("sim: zero instruction budget")
+	}
+
+	nrh := opt.NRH
+	policy := opt.Policy
+	var pol *pacram.Policy
+	if policy == nil && opt.PaCRAM != nil {
+		nrh = opt.PaCRAM.ScaledNRH(opt.NRH)
+		pol = pacram.NewPolicy(*opt.PaCRAM, opt.MemCfg.Geometry.TotalBanks(), opt.MemCfg.Geometry.Rows)
+		if opt.PeriodicExtension {
+			policy = pacram.NewPeriodicPolicy(pol)
+		} else {
+			policy = pol
+		}
+	}
+
+	var mitig memsys.Mitigation
+	if opt.Mitigation != "" && opt.Mitigation != "None" {
+		mcfg := mitigation.Config{
+			NRH:         nrh,
+			Rows:        opt.MemCfg.Geometry.Rows,
+			Banks:       opt.MemCfg.Geometry.TotalBanks(),
+			BlastRadius: opt.MemCfg.BlastRadius,
+			WindowActs:  int(opt.MemCfg.Timing.TREFW / opt.MemCfg.Timing.TRC()),
+			Seed:        opt.Seed,
+		}
+		var err error
+		mitig, err = mitigation.New(opt.Mitigation, mcfg)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	ctrl, err := memsys.NewController(opt.MemCfg, mitig, policy)
+	if err != nil {
+		return Result{}, err
+	}
+
+	gens := opt.Generators
+	if len(gens) == 0 {
+		gens = make([]trace.Generator, len(opt.Workloads))
+		for i, spec := range opt.Workloads {
+			gen, err := trace.New(spec, opt.Seed+uint64(i)*0x9E37)
+			if err != nil {
+				return Result{}, err
+			}
+			gens[i] = gen
+		}
+	}
+	cores := make([]*cpu.Core, len(gens))
+	for i, gen := range gens {
+		cores[i] = cpu.New(i, gen, ctrl)
+	}
+
+	maxCycles := opt.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 400 * (opt.Warmup + opt.Instructions)
+	}
+
+	tick := func() {
+		for _, c := range cores {
+			c.Tick()
+		}
+		ctrl.Tick()
+	}
+
+	// Warmup.
+	for !allRetired(cores, opt.Warmup) {
+		tick()
+		if ctrl.Cycle() > maxCycles {
+			return Result{}, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
+		}
+	}
+	baseStats := ctrl.Stats()
+	baseCycle := ctrl.Cycle()
+	baseRetired := make([]uint64, len(cores))
+	for i, c := range cores {
+		baseRetired[i] = c.Retired()
+	}
+
+	// Measurement: run until every core retires its budget; record
+	// each core's finish cycle for per-core IPC.
+	finish := make([]uint64, len(cores))
+	for {
+		done := true
+		for i, c := range cores {
+			if finish[i] == 0 {
+				if c.Retired()-baseRetired[i] >= opt.Instructions {
+					finish[i] = ctrl.Cycle()
+				} else {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+		tick()
+		if ctrl.Cycle() > maxCycles {
+			return Result{}, fmt.Errorf("sim: %s exceeded %d cycles", gens[0].Name(), maxCycles)
+		}
+	}
+
+	res := Result{
+		IPC:       make([]float64, len(cores)),
+		Cycles:    ctrl.Cycle() - baseCycle,
+		ScaledNRH: nrh,
+	}
+	for i := range cores {
+		res.IPC[i] = float64(opt.Instructions) / float64(finish[i]-baseCycle)
+	}
+	res.Stats = subStats(ctrl.Stats(), baseStats)
+	res.Stats.Cycles = res.Cycles
+	res.PrevRefBusyFraction = res.Stats.PrevRefBusyFraction(opt.MemCfg.Geometry.TotalBanks())
+	res.Energy = energy.Default().Compute(res.Stats, opt.MemCfg.Timing, opt.MemCfg.CPUFreqGHz,
+		opt.MemCfg.Geometry.Channels*opt.MemCfg.Geometry.Ranks)
+	if pol != nil {
+		res.PartialFraction = pol.PartialFraction()
+	}
+	return res, nil
+}
+
+// RunWithPolicy runs a simulation with an explicit refresh-latency
+// policy (bypassing PaCRAM config derivation).
+func RunWithPolicy(opt Options, policy memsys.RefreshPolicy) (Result, error) {
+	opt.Policy = policy
+	return Run(opt)
+}
+
+func allRetired(cores []*cpu.Core, n uint64) bool {
+	for _, c := range cores {
+		if c.Retired() < n {
+			return false
+		}
+	}
+	return true
+}
+
+// subStats subtracts a baseline snapshot from a later snapshot.
+func subStats(a, b memsys.Stats) memsys.Stats {
+	a.Acts -= b.Acts
+	a.Pres -= b.Pres
+	a.Reads -= b.Reads
+	a.Writes -= b.Writes
+	a.Refs -= b.Refs
+	a.RFMs -= b.RFMs
+	a.VRRs -= b.VRRs
+	a.VRRFull -= b.VRRFull
+	a.VRRPartial -= b.VRRPartial
+	a.MetaReads -= b.MetaReads
+	a.MetaWrites -= b.MetaWrites
+	a.DemandBusy -= b.DemandBusy
+	a.RefBusy -= b.RefBusy
+	a.PrevRefBusy -= b.PrevRefBusy
+	a.VRRRestoreNs -= b.VRRRestoreNs
+	a.RefRestoreNs -= b.RefRestoreNs
+	a.ReadLatencySum -= b.ReadLatencySum
+	a.ReadCount -= b.ReadCount
+	return a
+}
+
+// SmallMemConfig returns a scaled-down memory configuration for tests:
+// fewer rows per bank keeps mitigation state small while preserving
+// timing behaviour.
+func SmallMemConfig() memsys.Config {
+	cfg := memsys.DefaultConfig()
+	g := ddr.PaperSystem()
+	g.Rows = 4096
+	cfg.Geometry = g
+	return cfg
+}

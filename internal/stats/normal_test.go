@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhiKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0:     0.5,
+		1:     0.8413447,
+		-1:    0.1586553,
+		1.96:  0.9750021,
+		-2.33: 0.0099031,
+	}
+	for x, want := range cases {
+		if got := Phi(x); math.Abs(got-want) > 1e-5 {
+			t.Fatalf("Phi(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestInvPhiKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959964,
+		0.025:  -1.959964,
+		0.9999: 3.719016,
+		0.0001: -3.719016,
+	}
+	for p, want := range cases {
+		if got := InvPhi(p); math.Abs(got-want) > 1e-5 {
+			t.Fatalf("InvPhi(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestInvPhiEdges(t *testing.T) {
+	if !math.IsInf(InvPhi(0), -1) || !math.IsInf(InvPhi(1), 1) {
+		t.Fatal("InvPhi edges must be infinite")
+	}
+	if !math.IsInf(InvPhi(-0.5), -1) || !math.IsInf(InvPhi(1.5), 1) {
+		t.Fatal("out-of-range p must clamp to infinities")
+	}
+}
+
+// Property: InvPhi inverts Phi across the useful domain.
+func TestInvPhiRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 5) // [0, 5)
+		if math.IsNaN(x) {
+			return true
+		}
+		for _, v := range []float64{x, -x} {
+			p := Phi(v)
+			if p <= 0 || p >= 1 {
+				continue
+			}
+			if math.Abs(InvPhi(p)-v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeValueFactors(t *testing.T) {
+	// More samples push the expected max higher and min lower; n=1 is
+	// the identity.
+	if ExpectedMaxLogNormalFactor(1, 0.5) != 1 || ExpectedMinLogNormalFactor(1, 0.5) != 1 {
+		t.Fatal("n=1 factors must be 1")
+	}
+	m100 := ExpectedMaxLogNormalFactor(100, 0.5)
+	m1000 := ExpectedMaxLogNormalFactor(1000, 0.5)
+	if !(m1000 > m100 && m100 > 1) {
+		t.Fatalf("max factor not increasing: %g, %g", m100, m1000)
+	}
+	l100 := ExpectedMinLogNormalFactor(100, 0.5)
+	l1000 := ExpectedMinLogNormalFactor(1000, 0.5)
+	if !(l1000 < l100 && l100 < 1) {
+		t.Fatalf("min factor not decreasing: %g, %g", l100, l1000)
+	}
+	// Symmetry on a log scale.
+	if d := m100*l100 - 1; math.Abs(d) > 1e-9 {
+		t.Fatalf("max/min factors not symmetric: product-1 = %g", d)
+	}
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N=%d", s.N)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Min != 3 || s.Max != 3 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.Q1, 2, 1e-9) || !almostEqual(s.Q3, 4, 1e-9) {
+		t.Fatalf("quartiles wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 4 {
+		t.Fatal("quantile edge values wrong")
+	}
+	if !almostEqual(Quantile(s, 0.5), 2.5, 1e-9) {
+		t.Fatalf("median of even-length slice: %g", Quantile(s, 0.5))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if !almostEqual(Geomean([]float64{1, 4}), 2, 1e-9) {
+		t.Fatal("geomean of {1,4} should be 2")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Fatal("geomean with negative input should be NaN")
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Fatal("geomean of empty should be NaN")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 1}, []float64{2, 2})
+	if !almostEqual(ws, 1, 1e-9) {
+		t.Fatalf("weighted speedup: %g", ws)
+	}
+	ws = WeightedSpeedup([]float64{2, 2}, []float64{2, 2})
+	if !almostEqual(ws, 2, 1e-9) {
+		t.Fatalf("weighted speedup of un-slowed cores: %g", ws)
+	}
+}
+
+func TestWeightedSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 || !almostEqual(Mean(xs), 2, 1e-9) {
+		t.Fatal("min/max/mean wrong")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) || !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty min/max/mean should be NaN")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("normalize wrong: %v", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(100)
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over wrong: %d %d", h.Under, h.Over)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Fatalf("bin %d count %d", i, h.Counts[i])
+		}
+		if !almostEqual(h.Fraction(i), 0.1, 1e-9) {
+			t.Fatalf("bin %d fraction %g", i, h.Fraction(i))
+		}
+	}
+	if h.Total() != 12 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram bounds should panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+// Property: the five-number summary is ordered min<=q1<=med<=q3<=max
+// and mean lies within [min, max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+
+	"pacram/internal/xrand"
+)
+
+// The catalog mirrors the paper's 62 single-core workloads drawn from
+// SPEC CPU2006, SPEC CPU2017, TPC, MediaBench and YCSB. Parameters
+// classify each workload by memory intensity (bubble mean ~ 1000/MPKI),
+// address behaviour and working set, spanning the same range the real
+// suites span: mcf/lbm-class memory hogs down to povray-class compute.
+var catalog = []Spec{
+	// ---- SPEC CPU2006 ----
+	{Name: "400.perlbench", BubbleMean: 320, Pattern: PatternZipf, FootprintMB: 64, WriteFrac: 0.30, ZipfTheta: 0.8},
+	{Name: "401.bzip2", BubbleMean: 120, Pattern: PatternMixed, FootprintMB: 128, BurstLen: 16, WriteFrac: 0.35},
+	{Name: "403.gcc", BubbleMean: 90, Pattern: PatternZipf, FootprintMB: 128, WriteFrac: 0.30, ZipfTheta: 0.7},
+	{Name: "410.bwaves", BubbleMean: 18, Pattern: PatternStream, FootprintMB: 512, BurstLen: 64, WriteFrac: 0.25},
+	{Name: "416.gamess", BubbleMean: 450, Pattern: PatternZipf, FootprintMB: 32, WriteFrac: 0.20, ZipfTheta: 0.9},
+	{Name: "429.mcf", BubbleMean: 8, Pattern: PatternRandom, FootprintMB: 1024, WriteFrac: 0.20},
+	{Name: "433.milc", BubbleMean: 25, Pattern: PatternStream, FootprintMB: 512, BurstLen: 32, WriteFrac: 0.30},
+	{Name: "434.zeusmp", BubbleMean: 40, Pattern: PatternStream, FootprintMB: 256, BurstLen: 32, WriteFrac: 0.30},
+	{Name: "435.gromacs", BubbleMean: 260, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 8, WriteFrac: 0.25},
+	{Name: "436.cactusADM", BubbleMean: 30, Pattern: PatternStream, FootprintMB: 384, BurstLen: 48, WriteFrac: 0.35},
+	{Name: "437.leslie3d", BubbleMean: 22, Pattern: PatternStream, FootprintMB: 256, BurstLen: 48, WriteFrac: 0.30},
+	{Name: "444.namd", BubbleMean: 380, Pattern: PatternMixed, FootprintMB: 48, BurstLen: 8, WriteFrac: 0.20},
+	{Name: "445.gobmk", BubbleMean: 280, Pattern: PatternZipf, FootprintMB: 32, WriteFrac: 0.25, ZipfTheta: 0.8},
+	{Name: "447.dealII", BubbleMean: 140, Pattern: PatternMixed, FootprintMB: 128, BurstLen: 12, WriteFrac: 0.25},
+	{Name: "450.soplex", BubbleMean: 15, Pattern: PatternMixed, FootprintMB: 512, BurstLen: 12, WriteFrac: 0.20},
+	{Name: "453.povray", BubbleMean: 500, Pattern: PatternZipf, FootprintMB: 16, WriteFrac: 0.25, ZipfTheta: 0.9},
+	{Name: "454.calculix", BubbleMean: 300, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 16, WriteFrac: 0.25},
+	{Name: "456.hmmer", BubbleMean: 220, Pattern: PatternStream, FootprintMB: 64, BurstLen: 24, WriteFrac: 0.30},
+	{Name: "458.sjeng", BubbleMean: 350, Pattern: PatternRandom, FootprintMB: 128, WriteFrac: 0.25},
+	{Name: "459.GemsFDTD", BubbleMean: 16, Pattern: PatternStream, FootprintMB: 512, BurstLen: 64, WriteFrac: 0.30},
+	{Name: "462.libquantum", BubbleMean: 12, Pattern: PatternStream, FootprintMB: 256, BurstLen: 128, WriteFrac: 0.15},
+	{Name: "464.h264ref", BubbleMean: 240, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 16, WriteFrac: 0.30},
+	{Name: "465.tonto", BubbleMean: 330, Pattern: PatternZipf, FootprintMB: 48, WriteFrac: 0.25, ZipfTheta: 0.85},
+	{Name: "470.lbm", BubbleMean: 10, Pattern: PatternStream, FootprintMB: 512, BurstLen: 64, WriteFrac: 0.45},
+	{Name: "471.omnetpp", BubbleMean: 20, Pattern: PatternRandom, FootprintMB: 256, WriteFrac: 0.30},
+	{Name: "473.astar", BubbleMean: 60, Pattern: PatternRandom, FootprintMB: 256, WriteFrac: 0.25},
+	{Name: "481.wrf", BubbleMean: 45, Pattern: PatternStream, FootprintMB: 256, BurstLen: 32, WriteFrac: 0.30},
+	{Name: "482.sphinx3", BubbleMean: 35, Pattern: PatternMixed, FootprintMB: 128, BurstLen: 24, WriteFrac: 0.15},
+	{Name: "483.xalancbmk", BubbleMean: 28, Pattern: PatternZipf, FootprintMB: 256, WriteFrac: 0.25, ZipfTheta: 0.75},
+
+	// ---- SPEC CPU2017 ----
+	{Name: "502.gcc_r", BubbleMean: 80, Pattern: PatternZipf, FootprintMB: 256, WriteFrac: 0.30, ZipfTheta: 0.7},
+	{Name: "505.mcf_r", BubbleMean: 9, Pattern: PatternRandom, FootprintMB: 1024, WriteFrac: 0.20},
+	{Name: "507.cactuBSSN_r", BubbleMean: 26, Pattern: PatternStream, FootprintMB: 512, BurstLen: 48, WriteFrac: 0.35},
+	{Name: "508.namd_r", BubbleMean: 360, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 8, WriteFrac: 0.20},
+	{Name: "510.parest_r", BubbleMean: 55, Pattern: PatternMixed, FootprintMB: 256, BurstLen: 12, WriteFrac: 0.25},
+	{Name: "519.lbm_r", BubbleMean: 9, Pattern: PatternStream, FootprintMB: 512, BurstLen: 64, WriteFrac: 0.45},
+	{Name: "520.omnetpp_r", BubbleMean: 18, Pattern: PatternRandom, FootprintMB: 256, WriteFrac: 0.30},
+	{Name: "523.xalancbmk_r", BubbleMean: 25, Pattern: PatternZipf, FootprintMB: 256, WriteFrac: 0.25, ZipfTheta: 0.75},
+	{Name: "525.x264_r", BubbleMean: 180, Pattern: PatternMixed, FootprintMB: 128, BurstLen: 24, WriteFrac: 0.35},
+	{Name: "526.blender_r", BubbleMean: 230, Pattern: PatternMixed, FootprintMB: 192, BurstLen: 16, WriteFrac: 0.30},
+	{Name: "531.deepsjeng_r", BubbleMean: 310, Pattern: PatternRandom, FootprintMB: 512, WriteFrac: 0.25},
+	{Name: "538.imagick_r", BubbleMean: 270, Pattern: PatternStream, FootprintMB: 128, BurstLen: 32, WriteFrac: 0.35},
+	{Name: "541.leela_r", BubbleMean: 420, Pattern: PatternZipf, FootprintMB: 32, WriteFrac: 0.25, ZipfTheta: 0.85},
+	{Name: "544.nab_r", BubbleMean: 200, Pattern: PatternMixed, FootprintMB: 96, BurstLen: 16, WriteFrac: 0.25},
+	{Name: "549.fotonik3d_r", BubbleMean: 14, Pattern: PatternStream, FootprintMB: 512, BurstLen: 64, WriteFrac: 0.30},
+	{Name: "554.roms_r", BubbleMean: 20, Pattern: PatternStream, FootprintMB: 384, BurstLen: 48, WriteFrac: 0.30},
+	{Name: "557.xz_r", BubbleMean: 70, Pattern: PatternRandom, FootprintMB: 512, WriteFrac: 0.35},
+
+	// ---- TPC ----
+	{Name: "tpcc64", BubbleMean: 30, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.35, ZipfTheta: 0.9},
+	{Name: "tpch2", BubbleMean: 24, Pattern: PatternMixed, FootprintMB: 1024, BurstLen: 32, WriteFrac: 0.10},
+	{Name: "tpch6", BubbleMean: 16, Pattern: PatternStream, FootprintMB: 1024, BurstLen: 96, WriteFrac: 0.05},
+	{Name: "tpch17", BubbleMean: 28, Pattern: PatternMixed, FootprintMB: 1024, BurstLen: 24, WriteFrac: 0.10},
+
+	// ---- MediaBench ----
+	{Name: "h264-encode", BubbleMean: 150, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 24, WriteFrac: 0.40},
+	{Name: "h264-decode", BubbleMean: 190, Pattern: PatternMixed, FootprintMB: 64, BurstLen: 24, WriteFrac: 0.45},
+	{Name: "jpeg2000-encode", BubbleMean: 110, Pattern: PatternStream, FootprintMB: 96, BurstLen: 48, WriteFrac: 0.40},
+	{Name: "jpeg2000-decode", BubbleMean: 130, Pattern: PatternStream, FootprintMB: 96, BurstLen: 48, WriteFrac: 0.45},
+	{Name: "mpeg2-encode", BubbleMean: 160, Pattern: PatternStream, FootprintMB: 48, BurstLen: 32, WriteFrac: 0.40},
+	{Name: "mpeg2-decode", BubbleMean: 200, Pattern: PatternStream, FootprintMB: 48, BurstLen: 32, WriteFrac: 0.45},
+
+	// ---- YCSB ----
+	{Name: "ycsb-a", BubbleMean: 35, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.50, ZipfTheta: 0.99},
+	{Name: "ycsb-b", BubbleMean: 40, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.05, ZipfTheta: 0.99},
+	{Name: "ycsb-c", BubbleMean: 45, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.00, ZipfTheta: 0.99},
+	{Name: "ycsb-d", BubbleMean: 42, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.05, ZipfTheta: 0.8},
+	{Name: "ycsb-e", BubbleMean: 30, Pattern: PatternMixed, FootprintMB: 1024, BurstLen: 48, WriteFrac: 0.05},
+	{Name: "ycsb-f", BubbleMean: 38, Pattern: PatternZipf, FootprintMB: 1024, WriteFrac: 0.25, ZipfTheta: 0.99},
+}
+
+// Catalog returns the 62 single-core workload specs.
+func Catalog() []Spec { return catalog }
+
+// SpecByName finds a workload spec.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// MemoryIntensive reports whether a spec is in the high-intensity
+// class (roughly LLC MPKI >= 20, i.e. bubble mean <= 50).
+func (s Spec) MemoryIntensive() bool { return s.BubbleMean <= 50 }
+
+// Mix is a multi-programmed workload: one spec per core.
+type Mix struct {
+	Name  string
+	Specs [4]Spec
+}
+
+// Mixes generates the 60 four-core workload mixes. Mixes are drawn
+// deterministically from the catalog (the paper selects them
+// randomly); each mix contains at least one memory-intensive workload
+// so the memory system is always exercised.
+func Mixes() []Mix {
+	rng := xrand.Derive(0xC0FFEE, 0x4D)
+	var out []Mix
+	for i := 0; len(out) < 60; i++ {
+		var mix Mix
+		hasIntensive := false
+		for c := 0; c < 4; c++ {
+			s := catalog[rng.Intn(len(catalog))]
+			mix.Specs[c] = s
+			hasIntensive = hasIntensive || s.MemoryIntensive()
+		}
+		if !hasIntensive {
+			continue
+		}
+		mix.Name = fmt.Sprintf("mix%02d", len(out))
+		out = append(out, mix)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// File format: one record per line, Ramulator-style —
+//
+//	<bubbles> <hex-or-dec address> [R|W]
+//
+// The access kind defaults to R when omitted. Lines starting with '#'
+// and blank lines are skipped. This lets users replay real SimPoint
+// traces instead of the synthetic catalog.
+
+// WriteRecords serializes records to w in the file format.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		kind := "R"
+		if r.Write {
+			kind = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0x%x %s\n", r.Bubbles, r.Addr, kind); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a trace file.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("trace: line %d: want '<bubbles> <addr> [R|W]', got %q", lineNo, line)
+		}
+		bubbles, err := strconv.Atoi(fields[0])
+		if err != nil || bubbles < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad bubble count %q", lineNo, fields[0])
+		}
+		raw := strings.TrimPrefix(strings.TrimPrefix(fields[1], "0x"), "0X")
+		addr, err := strconv.ParseUint(raw, hexBase(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
+		}
+		rec := Record{Bubbles: bubbles, Addr: addr &^ (lineBytes - 1)}
+		if len(fields) == 3 {
+			switch strings.ToUpper(fields[2]) {
+			case "R":
+			case "W":
+				rec.Write = true
+			default:
+				return nil, fmt.Errorf("trace: line %d: bad access kind %q", lineNo, fields[2])
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return recs, nil
+}
+
+func hexBase(s string) int {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return 16
+	}
+	return 10
+}
+
+// LineBytes is the trace address granularity (one cache line).
+const LineBytes = lineBytes
+
+// replay is a Generator that loops over a fixed record slice (traces
+// are replayed cyclically, as Ramulator does when the instruction
+// budget exceeds the trace length).
+type replay struct {
+	name string
+	recs []Record
+	pos  int
+}
+
+// NewReplay wraps parsed records as a Generator.
+func NewReplay(name string, recs []Record) (Generator, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: replay %q: no records", name)
+	}
+	return &replay{name: name, recs: recs}, nil
+}
+
+func (g *replay) Name() string { return g.name }
+
+func (g *replay) Clone() Generator {
+	return &replay{name: g.name, recs: g.recs}
+}
+
+func (g *replay) Next() Record {
+	r := g.recs[g.pos]
+	g.pos++
+	if g.pos == len(g.recs) {
+		g.pos = 0
+	}
+	return r
+}
+
+// Capture materializes n records of any generator (useful for saving a
+// synthetic workload as a file).
+func Capture(g Generator, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
