@@ -1,7 +1,8 @@
 // Package bench holds the top-level benchmark harness: one testing.B
 // benchmark per table and figure of the paper (at reduced scale — use
 // cmd/characterize and cmd/simulate for full-scale regeneration), plus
-// ablation benches for the design choices called out in DESIGN.md §7.
+// ablation benches for the load-bearing modeling choices (closed-form
+// hammering, lazy row materialization, deterministic stream splitting).
 package bench
 
 import (
@@ -153,7 +154,7 @@ func BenchmarkAreaModel(b *testing.B) {
 	}
 }
 
-// ---- Ablations (DESIGN.md §7) ----------------------------------------
+// ---- Ablations -------------------------------------------------------
 
 // BenchmarkAblationClosedFormHammer measures the closed-form device
 // evaluation against per-activation stepping (the design choice that

@@ -10,12 +10,18 @@
 //	      multi-programmed workloads (Figs. 16, 17).
 //	C2.2  PaCRAM improves system energy efficiency (Fig. 18).
 //
-// Run with: go run ./cmd/artifact [-rows N] [-insts N]
+// All measurement cells run through the internal/runner worker pool:
+// -parallel N bounds the pool (results are bit-identical at any N),
+// and -cache DIR (on by default) persists finished cells so repeated
+// runs skip straight to the verdicts.
+//
+// Run with: go run ./cmd/artifact [-rows N] [-insts N] [-parallel N] [-cache DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pacram/internal/bender"
@@ -23,17 +29,43 @@ import (
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
 	"pacram/internal/mitigation"
+	"pacram/internal/runner"
 	"pacram/internal/sim"
 	"pacram/internal/trace"
 )
 
+// rowProbe bundles every per-row measurement the C1 claims need, so
+// one job per victim row covers both claims.
+type rowProbe struct {
+	Nom, Red, Deep characterize.RowMeasurement
+	FailedOnce     bool
+	FailedMany     bool
+}
+
 func main() {
 	var (
-		rows  = flag.Int("rows", 16, "rows per module for the characterization claims")
-		insts = flag.Uint64("insts", 40_000, "instructions per core for the system claims")
-		seed  = flag.Uint64("seed", 0x9ac24a, "seed")
+		rows     = flag.Int("rows", 16, "rows per module for the characterization claims")
+		insts    = flag.Uint64("insts", 40_000, "instructions per core for the system claims")
+		seed     = flag.Uint64("seed", 0x9ac24a, "seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
+		cacheDir = flag.String("cache", ".pacram-cache", "cell cache directory ('' disables caching)")
+		quiet    = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
 	)
 	flag.Parse()
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	ropt, err := runner.Options{
+		Workers:     *parallel,
+		Seed:        *seed,
+		Fingerprint: fmt.Sprintf("artifact:v1:rows=%d:insts=%d:seed=%d", *rows, *insts, *seed),
+		Progress:    progress,
+	}.WithCacheDir(*cacheDir)
+	must(err)
+
+	probes, sims := runClaims(ropt, *rows, *insts, *seed)
 
 	failures := 0
 	check := func(id, desc string, pass bool, detail string) {
@@ -47,99 +79,45 @@ func main() {
 
 	// ---- C1.1 -----------------------------------------------------
 	{
-		mod, err := chips.ByID("S6")
-		must(err)
-		opt := chips.DefaultDeviceOptions()
-		opt.Seed = *seed
-		pl, err := bender.New(mod.NewChip(opt), *seed)
-		must(err)
-		pl.SetTemperature(80)
-		cfg := characterize.DefaultConfig()
-		testRows := characterize.SelectRows(pl, *rows)
-
 		var nrhNom, nrh045, retZero int
 		var berNom, ber045 float64
-		for _, v := range testRows {
-			nom, err := characterize.MeasureRow(pl, v, 33.0, 1, cfg)
-			must(err)
-			red, err := characterize.MeasureRow(pl, v, 0.45*33.0, 1, cfg)
-			must(err)
-			deep, err := characterize.MeasureRow(pl, v, 0.18*33.0, 1, cfg)
-			must(err)
-			nrhNom += nom.NRH
-			nrh045 += red.NRH
-			berNom += nom.BER
-			ber045 += red.BER
-			if deep.NRH == 0 {
+		for _, p := range probes {
+			nrhNom += p.Nom.NRH
+			nrh045 += p.Red.NRH
+			berNom += p.Nom.BER
+			ber045 += p.Red.BER
+			if p.Deep.NRH == 0 {
 				retZero++
 			}
 		}
-		pass := nrh045 < nrhNom && ber045 > berNom && retZero == len(testRows)
+		n := len(probes)
+		pass := nrh045 < nrhNom && ber045 > berNom && retZero == n
 		check("C1.1", "reduced tRAS lowers NRH, raises BER; beyond safe minimum retention fails", pass,
 			fmt.Sprintf("S6: mean NRH %d -> %d at 0.45 tRAS; mean BER %.4f -> %.4f; %d/%d rows fail without hammering at 0.18 tRAS",
-				nrhNom/len(testRows), nrh045/len(testRows),
-				berNom/float64(len(testRows)), ber045/float64(len(testRows)),
-				retZero, len(testRows)))
+				nrhNom/n, nrh045/n, berNom/float64(n), ber045/float64(n), retZero, n))
 	}
 
 	// ---- C1.2 -----------------------------------------------------
 	{
-		mod, err := chips.ByID("S6")
-		must(err)
-		opt := chips.DefaultDeviceOptions()
-		opt.Seed = *seed
-		pl, err := bender.New(mod.NewChip(opt), *seed)
-		must(err)
-		pl.SetTemperature(80)
-		testRows := characterize.SelectRows(pl, *rows)
 		failedOnce, failedMany := 0, 0
-		for _, r := range testRows {
-			f1, err := characterize.MeasureRetentionRow(pl, r, 0.36*33.0, 1, 64)
-			must(err)
-			fMany, err := characterize.MeasureRetentionRow(pl, r, 0.36*33.0, 5000, 64)
-			must(err)
-			if f1 {
+		for _, p := range probes {
+			if p.FailedOnce {
 				failedOnce++
 			}
-			if fMany {
+			if p.FailedMany {
 				failedMany++
 			}
 		}
 		pass := failedOnce == 0 && failedMany > 0
 		check("C1.2", "repeated partial restoration causes failures; a single one does not", pass,
 			fmt.Sprintf("S6 at 0.36 tRAS within 64ms: %d/%d rows fail after 1 restore, %d/%d after 5000",
-				failedOnce, len(testRows), failedMany, len(testRows)))
+				failedOnce, len(probes), failedMany, len(probes)))
 	}
 
 	// ---- C2.1 / C2.2 ----------------------------------------------
 	{
-		mod, err := chips.ByID("H5")
-		must(err)
-		cfg, err := pacram.Derive(mod, 4 /* 0.36 tRAS */, 64, sim.SmallMemConfig().Timing)
-		must(err)
-
-		spec, err := trace.SpecByName("429.mcf")
-		must(err)
-		mix := trace.Mixes()[0]
-
-		run := func(workloads []trace.Spec, pc *pacram.Config) sim.Result {
-			o := sim.DefaultOptions(workloads...)
-			o.MemCfg = sim.SmallMemConfig()
-			o.Instructions = *insts
-			o.Warmup = *insts / 10
-			o.Mitigation = mitigation.NameRFM
-			o.NRH = 64
-			o.PaCRAM = pc
-			o.Seed = *seed
-			res, err := sim.Run(o)
-			must(err)
-			return res
-		}
-
-		s0 := run([]trace.Spec{spec}, nil)
-		s1 := run([]trace.Spec{spec}, &cfg)
-		m0 := run(mix.Specs[:], nil)
-		m1 := run(mix.Specs[:], &cfg)
+		s0, s1 := sims["c2/single/nopac"], sims["c2/single/pacram"]
+		m0, m1 := sims["c2/mix/nopac"], sims["c2/mix/pacram"]
 
 		perfPass := s1.IPC[0] > s0.IPC[0] && m1.SumIPC() > m0.SumIPC()
 		check("C2.1", "PaCRAM improves single-core and multi-core performance", perfPass,
@@ -160,6 +138,94 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall claims PASS")
+}
+
+// runClaims fans every measurement cell of the four claims out over
+// the worker pool: one job per victim row for the C1 claims, one job
+// per simulation for the C2 claims.
+func runClaims(ropt runner.Options, rows int, insts, seed uint64) ([]rowProbe, map[string]sim.Result) {
+	mod, err := chips.ByID("S6")
+	must(err)
+	opt := chips.DefaultDeviceOptions()
+	opt.Seed = seed
+
+	// Row selection needs a platform; jobs then rebuild their own so
+	// they share no state (the device model is closed-form per row, so
+	// an isolated platform measures exactly what a shared one would).
+	sel, err := bender.New(mod.NewChip(opt), seed)
+	must(err)
+	testRows := characterize.SelectRows(sel, rows)
+	cfg := characterize.DefaultConfig()
+
+	c1 := runner.NewMatrix[rowProbe]()
+	for _, victim := range testRows {
+		c1.Add(fmt.Sprintf("c1/row%d", victim), func(runner.Ctx) (rowProbe, error) {
+			pl, err := bender.New(mod.NewChip(opt), seed)
+			if err != nil {
+				return rowProbe{}, err
+			}
+			pl.SetTemperature(80)
+			var p rowProbe
+			if p.Nom, err = characterize.MeasureRow(pl, victim, 33.0, 1, cfg); err != nil {
+				return p, err
+			}
+			if p.Red, err = characterize.MeasureRow(pl, victim, 0.45*33.0, 1, cfg); err != nil {
+				return p, err
+			}
+			if p.Deep, err = characterize.MeasureRow(pl, victim, 0.18*33.0, 1, cfg); err != nil {
+				return p, err
+			}
+			if p.FailedOnce, err = characterize.MeasureRetentionRow(pl, victim, 0.36*33.0, 1, 64); err != nil {
+				return p, err
+			}
+			if p.FailedMany, err = characterize.MeasureRetentionRow(pl, victim, 0.36*33.0, 5000, 64); err != nil {
+				return p, err
+			}
+			return p, nil
+		})
+	}
+	c1opt := ropt
+	c1opt.Label = "artifact/C1"
+	probeByKey, err := runner.Run(c1opt, c1.Jobs())
+	must(err)
+	probes := make([]rowProbe, 0, len(testRows))
+	for _, victim := range testRows {
+		probes = append(probes, probeByKey[fmt.Sprintf("c1/row%d", victim)])
+	}
+
+	// System claims: RFM at NRH=64 with and without PaCRAM-H.
+	modH, err := chips.ByID("H5")
+	must(err)
+	pcfg, err := pacram.Derive(modH, 4 /* 0.36 tRAS */, 64, sim.SmallMemConfig().Timing)
+	must(err)
+	spec, err := trace.SpecByName("429.mcf")
+	must(err)
+	mix := trace.Mixes()[0]
+
+	c2 := runner.NewMatrix[sim.Result]()
+	addSim := func(key string, workloads []trace.Spec, pc *pacram.Config) {
+		w := append([]trace.Spec(nil), workloads...)
+		c2.Add(key, func(runner.Ctx) (sim.Result, error) {
+			o := sim.DefaultOptions(w...)
+			o.MemCfg = sim.SmallMemConfig()
+			o.Instructions = insts
+			o.Warmup = insts / 10
+			o.Mitigation = mitigation.NameRFM
+			o.NRH = 64
+			o.PaCRAM = pc
+			o.Seed = seed
+			return sim.Run(o)
+		})
+	}
+	addSim("c2/single/nopac", []trace.Spec{spec}, nil)
+	addSim("c2/single/pacram", []trace.Spec{spec}, &pcfg)
+	addSim("c2/mix/nopac", mix.Specs[:], nil)
+	addSim("c2/mix/pacram", mix.Specs[:], &pcfg)
+	c2opt := ropt
+	c2opt.Label = "artifact/C2"
+	sims, err := runner.Run(c2opt, c2.Jobs())
+	must(err)
+	return probes, sims
 }
 
 func must(err error) {

@@ -8,11 +8,13 @@
 //	characterize -exp table3 -rows 96      # tighter statistics
 //	characterize -exp all -csv out/        # everything, with CSV dumps
 //	characterize -exp fig12 -modules H7,M2,S6
+//	characterize -exp all -parallel 8 -cache .pacram-cache
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,21 +29,32 @@ var experiments = []string{
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "fig6", "experiment id, comma-separated list, or 'all': "+strings.Join(experiments, " "))
-		rows    = flag.Int("rows", 24, "rows sampled per module (paper: 3000)")
-		bank    = flag.Int("bankrows", 128, "modeled rows per bank (power of two)")
-		modules = flag.String("modules", "", "comma-separated module IDs (default: experiment-specific)")
-		iters   = flag.Int("iterations", 1, "measurement iterations (paper: 5)")
-		seed    = flag.Uint64("seed", 0x9ac24a, "experiment seed")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		expFlag  = flag.String("exp", "fig6", "experiment id, comma-separated list, or 'all': "+strings.Join(experiments, " "))
+		rows     = flag.Int("rows", 24, "rows sampled per module (paper: 3000)")
+		bank     = flag.Int("bankrows", 128, "modeled rows per bank (power of two)")
+		modules  = flag.String("modules", "", "comma-separated module IDs (default: experiment-specific)")
+		iters    = flag.Int("iterations", 1, "measurement iterations (paper: 5)")
+		seed     = flag.Uint64("seed", 0x9ac24a, "experiment seed")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
+		cacheDir = flag.String("cache", "", "cache completed sweep points as JSON in this directory; re-runs skip them")
+		quiet    = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
 	)
 	flag.Parse()
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
 
 	opt := exp.DefaultCharOptions()
 	opt.Rows = *rows
 	opt.BankRows = *bank
 	opt.Iterations = *iters
 	opt.Seed = *seed
+	opt.Parallel = *parallel
+	opt.CacheDir = *cacheDir
+	opt.Progress = progress
 	if *modules != "" {
 		opt.Modules = strings.Split(*modules, ",")
 	}

@@ -8,12 +8,13 @@
 //	simulate -exp fig3                      # preventive-refresh overhead sweep
 //	simulate -exp fig17 -nrh 1024,256,64    # performance vs threshold
 //	simulate -exp fig16 -workloads 429.mcf -mitigations RFM
-//	simulate -exp all -csv out/
+//	simulate -exp all -csv out/ -parallel 8 -cache .pacram-cache
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -38,14 +39,25 @@ func main() {
 		traceFile = flag.String("tracefile", "", "replay a trace file on one core (with -exp run)")
 		seed      = flag.Uint64("seed", 0x51317, "simulation seed")
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
+		cacheDir  = flag.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
+		quiet     = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
 	)
 	flag.Parse()
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
 
 	opt := exp.DefaultSysOptions()
 	opt.Instructions = *insts
 	opt.Warmup = *warmup
 	opt.MixCount = *mixes
 	opt.Seed = *seed
+	opt.Parallel = *parallel
+	opt.CacheDir = *cacheDir
+	opt.Progress = progress
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

@@ -1,0 +1,3 @@
+module pacram
+
+go 1.24

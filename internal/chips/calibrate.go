@@ -141,8 +141,9 @@ type DeviceOptions struct {
 	Seed        uint64
 }
 
-// DefaultDeviceOptions returns the fast default scale documented in
-// DESIGN.md.
+// DefaultDeviceOptions returns the fast default scale: a 128-row bank
+// slice with 1K cells per row, enough for every characterization
+// driver while keeping full-registry sweeps in seconds.
 func DefaultDeviceOptions() DeviceOptions {
 	return DeviceOptions{Rows: 128, CellsPerRow: 1024, Seed: 0x9ac24a}
 }

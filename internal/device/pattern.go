@@ -7,9 +7,9 @@
 //
 // The model is evaluated in closed form: hammering a row N times is a
 // single arithmetic step, not N events, so the bisection search of the
-// paper's Algorithm 1 runs in microseconds per probe. DESIGN.md §3
-// documents the model and why it preserves the behaviours the paper
-// measures.
+// paper's Algorithm 1 runs in microseconds per probe. The chip.go doc
+// comments describe the model and why it preserves the behaviours the
+// paper measures.
 package device
 
 // DataPattern enumerates the six data patterns the paper's methodology

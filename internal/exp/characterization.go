@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"pacram/internal/bender"
@@ -9,6 +10,7 @@ import (
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
 	"pacram/internal/ddr"
+	"pacram/internal/runner"
 	"pacram/internal/stats"
 )
 
@@ -25,11 +27,111 @@ type CharOptions struct {
 	// Iterations per measurement (the paper uses 5).
 	Iterations int
 	Seed       uint64
+
+	// Parallel bounds the runner's worker pool (0 = all CPUs).
+	// Results are bit-identical at any worker count.
+	Parallel int
+	// CacheDir, when non-empty, persists per-sweep-point results as
+	// JSON so repeated runs at the same scale skip finished points.
+	CacheDir string
+	// Progress, when non-nil, receives streaming progress and ETA
+	// (typically os.Stderr).
+	Progress io.Writer
 }
 
 // DefaultCharOptions returns the fast default scale.
 func DefaultCharOptions() CharOptions {
 	return CharOptions{Rows: 24, BankRows: 128, Iterations: 1, Seed: 0x9ac24a}
+}
+
+// runnerOptions maps characterization options onto the engine; the
+// fingerprint covers every scale knob outside the job keys.
+func (o CharOptions) runnerOptions(label string) (runner.Options, error) {
+	return runner.Options{
+		Workers: o.Parallel,
+		Seed:    o.Seed,
+		Fingerprint: fmt.Sprintf("char:v1:rows=%d:bank=%d:iters=%d:seed=%d",
+			o.Rows, o.BankRows, o.Iterations, o.Seed),
+		Progress: o.Progress,
+		Label:    label,
+	}.WithCacheDir(o.CacheDir)
+}
+
+// charRun measures one module at one (factor, npr, temperature) sweep
+// point. During the planning pass it records the point in the job
+// matrix and returns a placeholder; during assembly it returns the
+// computed (or cached) measurement. Each job builds its own platform,
+// and the device model is closed-form per row, so a point measured in
+// isolation is bit-identical to one measured mid-sequence — which is
+// what makes the fan-out safe.
+type charRun func(m *chips.ModuleData, factor float64, npr int, temp float64) (characterize.ModuleResult, error)
+
+// sweep drives a characterization figure builder through the runner in
+// the same two passes as SysOptions.sweep: plan into a scratch table,
+// execute the matrix, assemble into t. Builders must request the same
+// sweep points in both passes (branch on options, not on results).
+func (o CharOptions) sweep(t *Table, label string, build func(*Table, charRun) error) error {
+	m := runner.NewMatrix[characterize.ModuleResult]()
+	plan := func(mod *chips.ModuleData, factor float64, npr int, temp float64) (characterize.ModuleResult, error) {
+		key := charKey(mod.Info.ID, factor, npr, temp)
+		m.Add(key, func(runner.Ctx) (characterize.ModuleResult, error) {
+			res, err := characterize.MeasureModule(mod, o.deviceOptions(), factor, npr, temp, o.Rows, o.config())
+			if err != nil {
+				return characterize.ModuleResult{}, fmt.Errorf("exp: %s: %w", key, err)
+			}
+			return res, nil
+		})
+		return plannedModuleResult(mod, factor, npr, temp), nil
+	}
+	var scratch Table
+	if err := build(&scratch, plan); err != nil {
+		return err
+	}
+	ropt, err := o.runnerOptions(label)
+	if err != nil {
+		return err
+	}
+	results, err := runner.Run(ropt, m.Jobs())
+	if err != nil {
+		return err
+	}
+	get := func(mod *chips.ModuleData, factor float64, npr int, temp float64) (characterize.ModuleResult, error) {
+		res, ok := results[charKey(mod.Info.ID, factor, npr, temp)]
+		if !ok {
+			return characterize.ModuleResult{}, fmt.Errorf("exp: internal: point %s not planned",
+				charKey(mod.Info.ID, factor, npr, temp))
+		}
+		return res, nil
+	}
+	return build(t, get)
+}
+
+// serialCharRun returns a charRun that measures immediately, without
+// planning or pooling — for drivers like Takeaways that interleave a
+// handful of measurements with narrative assembly.
+func (o CharOptions) serialCharRun() charRun {
+	return func(m *chips.ModuleData, factor float64, npr int, temp float64) (characterize.ModuleResult, error) {
+		return characterize.MeasureModule(m, o.deviceOptions(), factor, npr, temp, o.Rows, o.config())
+	}
+}
+
+func charKey(moduleID string, factor float64, npr int, temp float64) string {
+	return fmt.Sprintf("char/%s/f%.4f/npr%d/t%g", moduleID, factor, npr, temp)
+}
+
+// plannedModuleResult is the planning-pass placeholder: one synthetic
+// row with bitflips so that LowestNRH and per-row normalization take
+// the same code paths they will at assembly time (the placeholder
+// never reaches the real table).
+func plannedModuleResult(mod *chips.ModuleData, factor float64, npr int, temp float64) characterize.ModuleResult {
+	return characterize.ModuleResult{
+		ModuleID: mod.Info.ID,
+		Mfr:      mod.Info.Mfr,
+		Factor:   factor,
+		NPR:      npr,
+		TempC:    temp,
+		Rows:     []characterize.RowMeasurement{{LogicalRow: 0, NRH: 1, BER: 1}},
+	}
 }
 
 func (o CharOptions) deviceOptions() chips.DeviceOptions {
@@ -66,8 +168,8 @@ func (o CharOptions) modules(defaults ...string) ([]*chips.ModuleData, error) {
 
 // moduleSweep measures one module at (factor, npr, temp), returning
 // per-row measurements keyed by logical row.
-func moduleSweep(m *chips.ModuleData, o CharOptions, factor float64, npr int, temp float64) (map[int]characterize.RowMeasurement, error) {
-	res, err := characterize.MeasureModule(m, o.deviceOptions(), factor, npr, temp, o.Rows, o.config())
+func moduleSweep(run charRun, m *chips.ModuleData, factor float64, npr int, temp float64) (map[int]characterize.RowMeasurement, error) {
+	res, err := run(m, factor, npr, temp)
 	if err != nil {
 		return nil, err
 	}
@@ -81,17 +183,17 @@ func moduleSweep(m *chips.ModuleData, o CharOptions, factor float64, npr int, te
 // normalizedPerRow returns per-row NRH and BER at factor normalized to
 // the same row's nominal values (rows with nominal NoBitflips are
 // skipped; NRH ratio 0 encodes retention failures).
-func normalizedPerRow(m *chips.ModuleData, o CharOptions, factor float64, npr int, temp float64) (nrhRatios, berRatios []float64, err error) {
-	nom, err := moduleSweep(m, o, 1.0, 1, temp)
+func normalizedPerRow(run charRun, m *chips.ModuleData, factor float64, npr int, temp float64) (nrhRatios, berRatios []float64, err error) {
+	nom, err := run(m, 1.0, 1, temp)
 	if err != nil {
 		return nil, nil, err
 	}
-	red, err := moduleSweep(m, o, factor, npr, temp)
+	red, err := moduleSweep(run, m, factor, npr, temp)
 	if err != nil {
 		return nil, nil, err
 	}
-	for row, n := range nom {
-		r, ok := red[row]
+	for _, n := range nom.Rows {
+		r, ok := red[n.LogicalRow]
 		if !ok || n.NoBitflips || n.NRH == 0 {
 			continue
 		}
@@ -142,24 +244,30 @@ func Fig6(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, mfr := range chips.Mfrs() {
-		for _, f := range chips.Factors {
-			var all []float64
-			for _, m := range mods {
-				if m.Info.Mfr != mfr || m.NoBitflips {
+	err = o.sweep(t, "fig6", func(t *Table, run charRun) error {
+		for _, mfr := range chips.Mfrs() {
+			for _, f := range chips.Factors {
+				var all []float64
+				for _, m := range mods {
+					if m.Info.Mfr != mfr || m.NoBitflips {
+						continue
+					}
+					nrh, _, err := normalizedPerRow(run, m, f, 1, 80)
+					if err != nil {
+						return err
+					}
+					all = append(all, nrh...)
+				}
+				if len(all) == 0 {
 					continue
 				}
-				nrh, _, err := normalizedPerRow(m, o, f, 1, 80)
-				if err != nil {
-					return nil, err
-				}
-				all = append(all, nrh...)
+				addBox(t, []interface{}{string(mfr), f}, stats.Summarize(all))
 			}
-			if len(all) == 0 {
-				continue
-			}
-			addBox(t, []interface{}{string(mfr), f}, stats.Summarize(all))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -175,29 +283,35 @@ func Fig7(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range mods {
-		if m.NoBitflips {
-			continue
-		}
-		var nomLowest int
-		for i, f := range chips.Factors {
-			res, err := characterize.MeasureModule(m, o.deviceOptions(), f, 1, 80, o.Rows, o.config())
-			if err != nil {
-				return nil, err
-			}
-			lowest, any := res.LowestNRH()
-			if !any {
+	err = o.sweep(t, "fig7", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			if m.NoBitflips {
 				continue
 			}
-			if i == 0 {
-				nomLowest = lowest
+			var nomLowest int
+			for i, f := range chips.Factors {
+				res, err := run(m, f, 1, 80)
+				if err != nil {
+					return err
+				}
+				lowest, any := res.LowestNRH()
+				if !any {
+					continue
+				}
+				if i == 0 {
+					nomLowest = lowest
+				}
+				norm := 0.0
+				if nomLowest > 0 {
+					norm = float64(lowest) / float64(nomLowest)
+				}
+				t.AddRow(string(m.Info.Mfr), m.Info.ID, f, lowest, norm)
 			}
-			norm := 0.0
-			if nomLowest > 0 {
-				norm = float64(lowest) / float64(nomLowest)
-			}
-			t.AddRow(string(m.Info.Mfr), m.Info.ID, f, lowest, norm)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -214,22 +328,28 @@ func Fig8(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range mods {
-		nom, err := moduleSweep(m, o, 1.0, 1, 80)
-		if err != nil {
-			return nil, err
-		}
-		red, err := moduleSweep(m, o, 0.45, 1, 80)
-		if err != nil {
-			return nil, err
-		}
-		for row, n := range nom {
-			r, ok := red[row]
-			if !ok || n.NoBitflips || n.NRH == 0 {
-				continue
+	err = o.sweep(t, "fig8", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			nom, err := run(m, 1.0, 1, 80)
+			if err != nil {
+				return err
 			}
-			t.AddRow(m.Info.ID, row, n.NRH, float64(r.NRH)/float64(n.NRH))
+			red, err := moduleSweep(run, m, 0.45, 1, 80)
+			if err != nil {
+				return err
+			}
+			for _, n := range nom.Rows {
+				r, ok := red[n.LogicalRow]
+				if !ok || n.NoBitflips || n.NRH == 0 {
+					continue
+				}
+				t.AddRow(m.Info.ID, n.LogicalRow, n.NRH, float64(r.NRH)/float64(n.NRH))
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -245,24 +365,30 @@ func Fig9(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, mfr := range chips.Mfrs() {
-		for _, f := range chips.Factors {
-			var all []float64
-			for _, m := range mods {
-				if m.Info.Mfr != mfr || m.NoBitflips {
+	err = o.sweep(t, "fig9", func(t *Table, run charRun) error {
+		for _, mfr := range chips.Mfrs() {
+			for _, f := range chips.Factors {
+				var all []float64
+				for _, m := range mods {
+					if m.Info.Mfr != mfr || m.NoBitflips {
+						continue
+					}
+					_, ber, err := normalizedPerRow(run, m, f, 1, 80)
+					if err != nil {
+						return err
+					}
+					all = append(all, ber...)
+				}
+				if len(all) == 0 {
 					continue
 				}
-				_, ber, err := normalizedPerRow(m, o, f, 1, 80)
-				if err != nil {
-					return nil, err
-				}
-				all = append(all, ber...)
+				addBox(t, []interface{}{string(mfr), f}, stats.Summarize(all))
 			}
-			if len(all) == 0 {
-				continue
-			}
-			addBox(t, []interface{}{string(mfr), f}, stats.Summarize(all))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -280,21 +406,27 @@ func Fig10(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range mods {
-		for _, temp := range []float64{50, 65, 80} {
-			for _, f := range chips.Factors {
-				nrh, ber, err := normalizedPerRow(m, o, f, 1, temp)
-				if err != nil {
-					return nil, err
-				}
-				if len(nrh) > 0 {
-					addBox(t, []interface{}{string(m.Info.Mfr), "NRH", temp, f}, stats.Summarize(nrh))
-				}
-				if len(ber) > 0 {
-					addBox(t, []interface{}{string(m.Info.Mfr), "BER", temp, f}, stats.Summarize(ber))
+	err = o.sweep(t, "fig10", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			for _, temp := range []float64{50, 65, 80} {
+				for _, f := range chips.Factors {
+					nrh, ber, err := normalizedPerRow(run, m, f, 1, temp)
+					if err != nil {
+						return err
+					}
+					if len(nrh) > 0 {
+						addBox(t, []interface{}{string(m.Info.Mfr), "NRH", temp, f}, stats.Summarize(nrh))
+					}
+					if len(ber) > 0 {
+						addBox(t, []interface{}{string(m.Info.Mfr), "BER", temp, f}, stats.Summarize(ber))
+					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -310,26 +442,32 @@ func Fig11(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, mfr := range chips.Mfrs() {
-		for _, f := range chips.Factors {
-			for npr := 1; npr <= 5; npr++ {
-				var all []float64
-				for _, m := range mods {
-					if m.Info.Mfr != mfr || m.NoBitflips {
+	err = o.sweep(t, "fig11", func(t *Table, run charRun) error {
+		for _, mfr := range chips.Mfrs() {
+			for _, f := range chips.Factors {
+				for npr := 1; npr <= 5; npr++ {
+					var all []float64
+					for _, m := range mods {
+						if m.Info.Mfr != mfr || m.NoBitflips {
+							continue
+						}
+						nrh, _, err := normalizedPerRow(run, m, f, npr, 80)
+						if err != nil {
+							return err
+						}
+						all = append(all, nrh...)
+					}
+					if len(all) == 0 {
 						continue
 					}
-					nrh, _, err := normalizedPerRow(m, o, f, npr, 80)
-					if err != nil {
-						return nil, err
-					}
-					all = append(all, nrh...)
+					addBox(t, []interface{}{string(mfr), f, npr}, stats.Summarize(all))
 				}
-				if len(all) == 0 {
-					continue
-				}
-				addBox(t, []interface{}{string(mfr), f, npr}, stats.Summarize(all))
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -349,17 +487,23 @@ func Fig12(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range mods {
-		for _, npr := range fig12Restores {
-			nrh, _, err := normalizedPerRow(m, o, 0.36, npr, 80)
-			if err != nil {
-				return nil, err
+	err = o.sweep(t, "fig12", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			for _, npr := range fig12Restores {
+				nrh, _, err := normalizedPerRow(run, m, 0.36, npr, 80)
+				if err != nil {
+					return err
+				}
+				if len(nrh) == 0 {
+					continue
+				}
+				addBox(t, []interface{}{m.Info.ID, npr}, stats.Summarize(nrh))
 			}
-			if len(nrh) == 0 {
-				continue
-			}
-			addBox(t, []interface{}{m.Info.ID, npr}, stats.Summarize(nrh))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -378,18 +522,44 @@ func Fig13(o CharOptions) (*Table, error) {
 	}
 	hd := characterize.DefaultHalfDoubleConfig()
 	cfg := o.config()
+
+	// Half-Double points carry their own result type, so Fig13 plans
+	// its matrix directly: one job per (module, factor, npr), each
+	// building its own platform (measurements are closed-form per row,
+	// so an isolated platform reproduces the shared-platform results).
+	key := func(m *chips.ModuleData, f float64, npr int) string {
+		return fmt.Sprintf("fig13/%s/f%.4f/npr%d", m.Info.ID, f, npr)
+	}
+	m13 := runner.NewMatrix[characterize.HalfDoubleResult]()
 	for _, m := range mods {
-		pl, err := bender.New(m.NewChip(o.deviceOptions()), o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		pl.SetTemperature(80)
-		rows := characterize.SelectRows(pl, o.Rows)
 		for _, f := range chips.Factors {
 			for npr := 1; npr <= 5; npr++ {
-				res, err := characterize.MeasureHalfDoubleModule(pl, m.Info.ID, rows, f, npr, hd, cfg)
-				if err != nil {
-					return nil, err
+				m13.Add(key(m, f, npr), func(runner.Ctx) (characterize.HalfDoubleResult, error) {
+					pl, err := bender.New(m.NewChip(o.deviceOptions()), o.Seed)
+					if err != nil {
+						return characterize.HalfDoubleResult{}, err
+					}
+					pl.SetTemperature(80)
+					rows := characterize.SelectRows(pl, o.Rows)
+					return characterize.MeasureHalfDoubleModule(pl, m.Info.ID, rows, f, npr, hd, cfg)
+				})
+			}
+		}
+	}
+	ropt, err := o.runnerOptions("fig13")
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner.Run(ropt, m13.Jobs())
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range mods {
+		for _, f := range chips.Factors {
+			for npr := 1; npr <= 5; npr++ {
+				res, ok := results[key(m, f, npr)]
+				if !ok {
+					return nil, fmt.Errorf("exp: internal: cell %q not planned", key(m, f, npr))
 				}
 				t.AddRow(m.Info.ID, f, npr, res.RowsTested, res.RowsFlipped, res.PercentFlipped())
 			}
@@ -413,19 +583,47 @@ func Fig14(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	fig14Factors := []float64{1.0, 0.81, 0.64, 0.45, 0.36, 0.27}
+	fig14Restores := []int{1, 10}
+
+	// Like Fig13: a dedicated matrix over (module, factor, restores,
+	// wait) with one platform per job.
+	key := func(m *chips.ModuleData, f float64, restores int, wait float64) string {
+		return fmt.Sprintf("fig14/%s/f%.4f/r%d/w%g", m.Info.ID, f, restores, wait)
+	}
+	m14 := runner.NewMatrix[characterize.RetentionResult]()
 	for _, m := range mods {
-		pl, err := bender.New(m.NewChip(o.deviceOptions()), o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		pl.SetTemperature(80)
-		rows := characterize.SelectRows(pl, o.Rows)
-		for _, f := range []float64{1.0, 0.81, 0.64, 0.45, 0.36, 0.27} {
-			for _, restores := range []int{1, 10} {
+		for _, f := range fig14Factors {
+			for _, restores := range fig14Restores {
 				for _, wait := range fig14Waits {
-					res, err := characterize.MeasureRetentionModule(pl, m.Info.ID, rows, f, restores, wait)
-					if err != nil {
-						return nil, err
+					m14.Add(key(m, f, restores, wait), func(runner.Ctx) (characterize.RetentionResult, error) {
+						pl, err := bender.New(m.NewChip(o.deviceOptions()), o.Seed)
+						if err != nil {
+							return characterize.RetentionResult{}, err
+						}
+						pl.SetTemperature(80)
+						rows := characterize.SelectRows(pl, o.Rows)
+						return characterize.MeasureRetentionModule(pl, m.Info.ID, rows, f, restores, wait)
+					})
+				}
+			}
+		}
+	}
+	ropt, err := o.runnerOptions("fig14")
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner.Run(ropt, m14.Jobs())
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range mods {
+		for _, f := range fig14Factors {
+			for _, restores := range fig14Restores {
+				for _, wait := range fig14Waits {
+					res, ok := results[key(m, f, restores, wait)]
+					if !ok {
+						return nil, fmt.Errorf("exp: internal: cell %q not planned", key(m, f, restores, wait))
 					}
 					t.AddRow(string(m.Info.Mfr), m.Info.ID, f, restores, wait, res.FailFraction())
 				}
@@ -451,39 +649,45 @@ func Fig4(o CharOptions) (*Table, error) {
 		return nil, err
 	}
 	tm := ddr.DDR4()
-	for _, m := range mods {
-		// Nominal lowest NRH.
-		nomRes, err := characterize.MeasureModule(m, o.deviceOptions(), 1.0, 1, 80, o.Rows, o.config())
-		if err != nil {
-			return nil, err
-		}
-		nomLowest, any := nomRes.LowestNRH()
-		if !any || nomLowest == 0 {
-			continue
-		}
-		nomLatency := tm.TRAS + tm.TRP
-		for _, f := range chips.Factors {
-			res, err := characterize.MeasureModule(m, o.deviceOptions(), f, 1, 80, o.Rows, o.config())
+	err = o.sweep(t, "fig4", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			// Nominal lowest NRH.
+			nomRes, err := run(m, 1.0, 1, 80)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			lowest, any := res.LowestNRH()
-			if !any {
+			nomLowest, any := nomRes.LowestNRH()
+			if !any || nomLowest == 0 {
 				continue
 			}
-			latency := (f*tm.TRAS + tm.TRP) / nomLatency
-			ratio := float64(lowest) / float64(nomLowest)
-			if ratio == 0 {
-				t.AddRow(m.Info.ID, f, latency, 0.0, "inf", "inf", "inf")
-				continue
+			nomLatency := tm.TRAS + tm.TRP
+			for _, f := range chips.Factors {
+				res, err := run(m, f, 1, 80)
+				if err != nil {
+					return err
+				}
+				lowest, any := res.LowestNRH()
+				if !any {
+					continue
+				}
+				latency := (f*tm.TRAS + tm.TRP) / nomLatency
+				ratio := float64(lowest) / float64(nomLowest)
+				if ratio == 0 {
+					t.AddRow(m.Info.ID, f, latency, 0.0, "inf", "inf", "inf")
+					continue
+				}
+				count := 1 / ratio
+				totalTime := count * latency
+				// Energy per refresh ~ base + restoration-time term.
+				const base, slope = 6.0, 0.20 // energy.Default coefficients
+				ePerRef := (base + slope*f*tm.TRAS) / (base + slope*tm.TRAS)
+				t.AddRow(m.Info.ID, f, latency, ratio, count, totalTime, count*ePerRef)
 			}
-			count := 1 / ratio
-			totalTime := count * latency
-			// Energy per refresh ~ base + restoration-time term.
-			const base, slope = 6.0, 0.20 // energy.Default coefficients
-			ePerRef := (base + slope*f*tm.TRAS) / (base + slope*tm.TRAS)
-			t.AddRow(m.Info.ID, f, latency, ratio, count, totalTime, count*ePerRef)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -501,30 +705,36 @@ func Table3(o CharOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range mods {
-		if m.NoBitflips {
-			t.AddRow(m.Info.ID, 1.0, "no bitflips", "-", "-", "-")
-			continue
-		}
-		var nomLowest int
-		for i, f := range chips.Factors {
-			res, err := characterize.MeasureModule(m, o.deviceOptions(), f, 1, 80, o.Rows, o.config())
-			if err != nil {
-				return nil, err
-			}
-			lowest, any := res.LowestNRH()
-			if !any {
+	err = o.sweep(t, "table3", func(t *Table, run charRun) error {
+		for _, m := range mods {
+			if m.NoBitflips {
+				t.AddRow(m.Info.ID, 1.0, "no bitflips", "-", "-", "-")
 				continue
 			}
-			if i == 0 {
-				nomLowest = lowest
+			var nomLowest int
+			for i, f := range chips.Factors {
+				res, err := run(m, f, 1, 80)
+				if err != nil {
+					return err
+				}
+				lowest, any := res.LowestNRH()
+				if !any {
+					continue
+				}
+				if i == 0 {
+					nomLowest = lowest
+				}
+				ratio := 0.0
+				if nomLowest > 0 {
+					ratio = float64(lowest) / float64(nomLowest)
+				}
+				t.AddRow(m.Info.ID, f, lowest, ratio, m.NRHRatio[i], math.Abs(ratio-m.NRHRatio[i]))
 			}
-			ratio := 0.0
-			if nomLowest > 0 {
-				ratio = float64(lowest) / float64(nomLowest)
-			}
-			t.AddRow(m.Info.ID, f, lowest, ratio, m.NRHRatio[i], math.Abs(ratio-m.NRHRatio[i]))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -40,6 +42,103 @@ func cellF(t *testing.T, row []string, i int) float64 {
 		t.Fatalf("cell %d of %v not a float: %v", i, row, err)
 	}
 	return v
+}
+
+func render(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelBitIdentical is the engine's core guarantee at the
+// driver level: running the same figure at 1 and at 8 workers renders
+// byte-identical tables, for both simulation and characterization
+// sweeps.
+func TestParallelBitIdentical(t *testing.T) {
+	so := tinySys()
+	so.Mitigations = []string{"PARA", "RFM"}
+	so.Parallel = 1
+	serialFig3, err := Fig3(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialFig17, err := Fig17(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so.Parallel = 8
+	parFig3, err := Fig3(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFig17, err := Fig17(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(t, serialFig3) != render(t, parFig3) {
+		t.Error("fig3 differs between -parallel 1 and -parallel 8")
+	}
+	if render(t, serialFig17) != render(t, parFig17) {
+		t.Error("fig17 differs between -parallel 1 and -parallel 8")
+	}
+
+	co := tinyChar()
+	co.Modules = []string{"H5", "S6"}
+	co.Parallel = 1
+	serialFig6, err := Fig6(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Parallel = 8
+	parFig6, err := Fig6(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(t, serialFig6) != render(t, parFig6) {
+		t.Error("fig6 differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestSweepCacheRoundTrip runs one figure cold and then warm from the
+// same cache directory: the warm run must be served from JSON on disk
+// and render the identical table.
+func TestSweepCacheRoundTrip(t *testing.T) {
+	o := tinySys()
+	o.Mitigations = []string{"PARA"}
+	o.CacheDir = t.TempDir()
+	cold, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(o.CacheDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("cold run left no cache entries")
+	}
+	warm, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(t, cold) != render(t, warm) {
+		t.Error("cached results render differently")
+	}
+
+	// Corrupt an entry: the warm run must recompute it, not fail.
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(t, cold) != render(t, again) {
+		t.Error("recovery from corrupt cache entry changed results")
+	}
 }
 
 func TestTableRendering(t *testing.T) {

@@ -1,8 +1,10 @@
 // Package exp contains one driver per table and figure of the paper's
 // evaluation. Each driver runs the corresponding experiment at a
 // configurable scale and renders the same rows/series the paper
-// reports, as aligned text and CSV. The experiment index lives in
-// DESIGN.md; paper-vs-measured comparisons in EXPERIMENTS.md.
+// reports, as aligned text and CSV. The experiment index, with the
+// command and expected runtime per figure, lives in the top-level
+// README.md. Sweep execution (worker pool, caching, progress) is
+// delegated to internal/runner.
 package exp
 
 import (

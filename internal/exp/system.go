@@ -2,10 +2,12 @@ package exp
 
 import (
 	"fmt"
+	"io"
 
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
 	"pacram/internal/mitigation"
+	"pacram/internal/runner"
 	"pacram/internal/sim"
 	"pacram/internal/stats"
 	"pacram/internal/trace"
@@ -27,6 +29,16 @@ type SysOptions struct {
 	// Mitigations to evaluate (empty = all five).
 	Mitigations []string
 	Seed        uint64
+
+	// Parallel bounds the runner's worker pool (0 = all CPUs).
+	// Results are bit-identical at any worker count.
+	Parallel int
+	// CacheDir, when non-empty, persists per-cell results as JSON so
+	// repeated runs at the same scale skip finished cells.
+	CacheDir string
+	// Progress, when non-nil, receives streaming progress and ETA
+	// (typically os.Stderr).
+	Progress io.Writer
 }
 
 // DefaultSysOptions returns the fast default scale.
@@ -60,36 +72,99 @@ func (o SysOptions) specs() ([]trace.Spec, error) {
 	return specs, nil
 }
 
-// runner caches simulation results shared across figure drivers.
-type runner struct {
-	o     SysOptions
-	cache map[string]sim.Result
+// simRun executes one simulation cell. During the planning pass it
+// records the cell in the job matrix and returns a placeholder; during
+// the assembly pass it returns the cell's computed (or cached) result.
+type simRun func(key string, workloads []trace.Spec, mech string, nrh int,
+	cfg *pacram.Config, periodic bool) (sim.Result, error)
+
+// runnerOptions maps experiment options onto the engine. The
+// fingerprint carries every knob outside the job keys that changes
+// simulation results, so cached cells are never reused across scales
+// or seeds.
+func (o SysOptions) runnerOptions(label string) (runner.Options, error) {
+	return runner.Options{
+		Workers: o.Parallel,
+		Seed:    o.Seed,
+		Fingerprint: fmt.Sprintf("sim:v1:insts=%d:warmup=%d:seed=%d",
+			o.Instructions, o.Warmup, o.Seed),
+		Progress: o.Progress,
+		Label:    label,
+	}.WithCacheDir(o.CacheDir)
 }
 
-func newRunner(o SysOptions) *runner {
-	return &runner{o: o, cache: map[string]sim.Result{}}
-}
-
-func (r *runner) run(key string, workloads []trace.Spec, mech string, nrh int,
-	cfg *pacram.Config, periodic bool) (sim.Result, error) {
-	if res, ok := r.cache[key]; ok {
+// sweep drives a figure builder through the runner in two passes: a
+// planning pass over a scratch table that records every requested cell
+// in the job matrix (deduplicated — baselines are requested many
+// times), one parallel runner execution, and an assembly pass that
+// re-runs the builder against the real results. The builder must
+// request the same cells in both passes, i.e. it may branch on its
+// options but not on result values; a cell requested only at assembly
+// time is reported as an internal error rather than silently recomputed.
+func (o SysOptions) sweep(t *Table, label string, build func(*Table, simRun) error) error {
+	m := runner.NewMatrix[sim.Result]()
+	plan := func(key string, workloads []trace.Spec, mech string, nrh int,
+		cfg *pacram.Config, periodic bool) (sim.Result, error) {
+		w := append([]trace.Spec(nil), workloads...)
+		m.Add(key, func(runner.Ctx) (sim.Result, error) {
+			opt := sim.DefaultOptions(w...)
+			opt.MemCfg = sim.SmallMemConfig()
+			opt.Instructions = o.Instructions
+			opt.Warmup = o.Warmup
+			opt.Mitigation = mech
+			opt.NRH = nrh
+			opt.PaCRAM = cfg
+			opt.PeriodicExtension = periodic
+			// All cells share the experiment seed: paired cells (a
+			// baseline and its treatments) must see identical random
+			// workload streams for normalization to be meaningful.
+			opt.Seed = o.Seed
+			res, err := sim.Run(opt)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("exp: %s: %w", key, err)
+			}
+			return res, nil
+		})
+		return plannedResult(len(workloads)), nil
+	}
+	var scratch Table
+	if err := build(&scratch, plan); err != nil {
+		return err
+	}
+	ropt, err := o.runnerOptions(label)
+	if err != nil {
+		return err
+	}
+	results, err := runner.Run(ropt, m.Jobs())
+	if err != nil {
+		return err
+	}
+	get := func(key string, _ []trace.Spec, _ string, _ int,
+		_ *pacram.Config, _ bool) (sim.Result, error) {
+		res, ok := results[key]
+		if !ok {
+			return sim.Result{}, fmt.Errorf("exp: internal: cell %q not planned", key)
+		}
 		return res, nil
 	}
-	opt := sim.DefaultOptions(workloads...)
-	opt.MemCfg = sim.SmallMemConfig()
-	opt.Instructions = r.o.Instructions
-	opt.Warmup = r.o.Warmup
-	opt.Mitigation = mech
-	opt.NRH = nrh
-	opt.PaCRAM = cfg
-	opt.PeriodicExtension = periodic
-	opt.Seed = r.o.Seed
-	res, err := sim.Run(opt)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("exp: %s: %w", key, err)
+	return build(t, get)
+}
+
+// plannedResult is the placeholder the planning pass hands back:
+// shaped like a real result (unit IPC, nonzero counters) so the
+// normalization arithmetic in builders cannot divide by zero while
+// planning. Placeholder values never reach the real table — the
+// planning pass writes to a scratch table that is discarded.
+func plannedResult(cores int) sim.Result {
+	ipc := make([]float64, cores)
+	for i := range ipc {
+		ipc[i] = 1
 	}
-	r.cache[key] = res
-	return res, nil
+	res := sim.Result{IPC: ipc, Cycles: 1}
+	res.Stats.ReadCount = 1
+	res.Stats.ReadLatencySum = 1
+	res.Energy.Background = 1
+	return res
 }
 
 // PaCRAMConfigs holds the three per-manufacturer operating points the
@@ -130,24 +205,29 @@ func Fig3(o SysOptions) (*Table, error) {
 		Title:   "Preventive-refresh busy time vs NRH (paper Fig. 3)",
 		Columns: []string{"mechanism", "NRH", "meanPct", "minPct", "maxPct"},
 	}
-	r := newRunner(o)
 	mixes := trace.Mixes()
 	if o.MixCount < len(mixes) {
 		mixes = mixes[:o.MixCount]
 	}
-	for _, mech := range o.mitigations() {
-		for _, nrh := range o.NRHs {
-			var fracs []float64
-			for _, mix := range mixes {
-				key := fmt.Sprintf("fig3/%s/%d/%s", mech, nrh, mix.Name)
-				res, err := r.run(key, mix.Specs[:], mech, nrh, nil, false)
-				if err != nil {
-					return nil, err
+	err := o.sweep(t, "fig3", func(t *Table, run simRun) error {
+		for _, mech := range o.mitigations() {
+			for _, nrh := range o.NRHs {
+				var fracs []float64
+				for _, mix := range mixes {
+					key := fmt.Sprintf("fig3/%s/%d/%s", mech, nrh, mix.Name)
+					res, err := run(key, mix.Specs[:], mech, nrh, nil, false)
+					if err != nil {
+						return err
+					}
+					fracs = append(fracs, 100*res.PrevRefBusyFraction)
 				}
-				fracs = append(fracs, 100*res.PrevRefBusyFraction)
+				t.AddRow(mech, nrh, stats.Mean(fracs), stats.Min(fracs), stats.Max(fracs))
 			}
-			t.AddRow(mech, nrh, stats.Mean(fracs), stats.Min(fracs), stats.Max(fracs))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -166,41 +246,46 @@ func Fig16(o SysOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := newRunner(o)
 	pc := PaperPaCRAMConfigs()
 
-	for ci, name := range pc.Names {
-		for _, mech := range o.mitigations() {
-			for _, nrh := range o.NRHs {
-				// Baseline: mechanism without PaCRAM.
-				base := 0.0
-				for _, spec := range specs {
-					key := fmt.Sprintf("nopac/%s/%d/%s", mech, nrh, spec.Name)
-					res, err := r.run(key, []trace.Spec{spec}, mech, nrh, nil, false)
-					if err != nil {
-						return nil, err
-					}
-					base += res.IPC[0]
-				}
-				t.AddRow(name, mech, nrh, 1.0, 1.0)
-				for idx := 1; idx < len(chips.Factors); idx++ {
-					cfg, err := deriveConfig(pc.Modules[ci], idx, nrh)
-					if err != nil {
-						continue // red cell: latency unusable on this module
-					}
-					sum := 0.0
+	err = o.sweep(t, "fig16", func(t *Table, run simRun) error {
+		for ci, name := range pc.Names {
+			for _, mech := range o.mitigations() {
+				for _, nrh := range o.NRHs {
+					// Baseline: mechanism without PaCRAM.
+					base := 0.0
 					for _, spec := range specs {
-						key := fmt.Sprintf("fig16/%s/%s/%d/%d/%s", name, mech, nrh, idx, spec.Name)
-						res, err := r.run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
+						key := fmt.Sprintf("nopac/%s/%d/%s", mech, nrh, spec.Name)
+						res, err := run(key, []trace.Spec{spec}, mech, nrh, nil, false)
 						if err != nil {
-							return nil, err
+							return err
 						}
-						sum += res.IPC[0]
+						base += res.IPC[0]
 					}
-					t.AddRow(name, mech, nrh, chips.Factors[idx], sum/base)
+					t.AddRow(name, mech, nrh, 1.0, 1.0)
+					for idx := 1; idx < len(chips.Factors); idx++ {
+						cfg, err := deriveConfig(pc.Modules[ci], idx, nrh)
+						if err != nil {
+							continue // red cell: latency unusable on this module
+						}
+						sum := 0.0
+						for _, spec := range specs {
+							key := fmt.Sprintf("fig16/%s/%s/%d/%d/%s", name, mech, nrh, idx, spec.Name)
+							res, err := run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
+							if err != nil {
+								return err
+							}
+							sum += res.IPC[0]
+						}
+						t.AddRow(name, mech, nrh, chips.Factors[idx], sum/base)
+					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -208,18 +293,18 @@ func Fig16(o SysOptions) (*Table, error) {
 // perfRow runs one (mechanism, config) point over single-core
 // workloads and mixes, returning performance normalized to the
 // no-mitigation baseline.
-func (r *runner) perfRow(specs []trace.Spec, mixes []trace.Mix, mech string,
+func perfRow(run simRun, specs []trace.Spec, mixes []trace.Mix, mech string,
 	nrh int, tag string, cfg *pacram.Config) (single, multi float64, energySingle, energyMulti float64, err error) {
 	// Single-core: mean normalized IPC.
 	var ipcs, es []float64
 	for _, spec := range specs {
 		baseKey := fmt.Sprintf("nomitig/%s", spec.Name)
-		base, err := r.run(baseKey, []trace.Spec{spec}, "None", nrh, nil, false)
+		base, err := run(baseKey, []trace.Spec{spec}, "None", nrh, nil, false)
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
 		key := fmt.Sprintf("perf/%s/%s/%d/%s", tag, mech, nrh, spec.Name)
-		res, err := r.run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
+		res, err := run(key, []trace.Spec{spec}, mech, nrh, cfg, false)
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
@@ -230,12 +315,12 @@ func (r *runner) perfRow(specs []trace.Spec, mixes []trace.Mix, mech string,
 	var wss, ems []float64
 	for _, mix := range mixes {
 		baseKey := fmt.Sprintf("nomitig-mix/%s", mix.Name)
-		base, err := r.run(baseKey, mix.Specs[:], "None", nrh, nil, false)
+		base, err := run(baseKey, mix.Specs[:], "None", nrh, nil, false)
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
 		key := fmt.Sprintf("perf-mix/%s/%s/%d/%s", tag, mech, nrh, mix.Name)
-		res, err := r.run(key, mix.Specs[:], mech, nrh, cfg, false)
+		res, err := run(key, mix.Specs[:], mech, nrh, cfg, false)
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
@@ -280,28 +365,33 @@ func perfEnergyTable(o SysOptions, id, title string, cols []string,
 	if o.MixCount < len(mixes) {
 		mixes = mixes[:o.MixCount]
 	}
-	r := newRunner(o)
 	pc := PaperPaCRAMConfigs()
 
-	for _, mech := range o.mitigations() {
-		for _, nrh := range o.NRHs {
-			s, m, es, em, err := r.perfRow(specs, mixes, mech, nrh, "nopac", nil)
-			if err != nil {
-				return nil, err
-			}
-			add(t, "NoPaCRAM", mech, nrh, s, m, es, em)
-			for ci, name := range pc.Names {
-				cfg, err := deriveConfig(pc.Modules[ci], pc.Factors[ci], nrh)
+	err = o.sweep(t, id, func(t *Table, run simRun) error {
+		for _, mech := range o.mitigations() {
+			for _, nrh := range o.NRHs {
+				s, m, es, em, err := perfRow(run, specs, mixes, mech, nrh, "nopac", nil)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				s, m, es, em, err := r.perfRow(specs, mixes, mech, nrh, name, cfg)
-				if err != nil {
-					return nil, err
+				add(t, "NoPaCRAM", mech, nrh, s, m, es, em)
+				for ci, name := range pc.Names {
+					cfg, err := deriveConfig(pc.Modules[ci], pc.Factors[ci], nrh)
+					if err != nil {
+						return err
+					}
+					s, m, es, em, err := perfRow(run, specs, mixes, mech, nrh, name, cfg)
+					if err != nil {
+						return err
+					}
+					add(t, name, mech, nrh, s, m, es, em)
 				}
-				add(t, name, mech, nrh, s, m, es, em)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -316,9 +406,17 @@ type periodicScalePolicy struct {
 func (p periodicScalePolicy) VRRHold(int, int, float64) float64 { return p.tras }
 func (p periodicScalePolicy) PeriodicScale(float64) float64     { return p.scale }
 
+// fig19Densities and fig19Factors are the Appendix B sweep axes.
+var (
+	fig19Densities = []int{8, 16, 32, 64, 128, 256, 512}
+	fig19Factors   = []float64{1.00, 0.81, 0.64, 0.45, 0.36, 0.27}
+)
+
 // Fig19 sweeps DRAM chip density and periodic-refresh latency with no
 // RowHammer mitigation, normalizing performance and energy to a
-// refresh-free system (paper Fig. 19 / Appendix B).
+// refresh-free system (paper Fig. 19 / Appendix B). Its cells need a
+// custom memory configuration and refresh policy, so it plans its job
+// matrix directly instead of going through sweep.
 func Fig19(o SysOptions) (*Table, error) {
 	t := &Table{
 		ID:      "fig19",
@@ -335,7 +433,11 @@ func Fig19(o SysOptions) (*Table, error) {
 	mix := mixes[0]
 	tm := sim.SmallMemConfig().Timing
 
-	for _, density := range []int{8, 16, 32, 64, 128, 256, 512} {
+	key := func(density int, latFactor float64, refresh bool) string {
+		return fmt.Sprintf("fig19/%d/%.2f/refresh=%v", density, latFactor, refresh)
+	}
+	m := runner.NewMatrix[sim.Result]()
+	add := func(density int, latFactor float64, refresh bool) {
 		// tRFC grows with density: x1.45 per doubling approximates the
 		// JEDEC progression (195ns at 8Gb, 295ns at 16Gb, 410ns at
 		// 32Gb, extrapolated beyond).
@@ -343,8 +445,7 @@ func Fig19(o SysOptions) (*Table, error) {
 		for d := 8; d < density; d *= 2 {
 			scaleRFC *= 1.45
 		}
-
-		run := func(latFactor float64, refresh bool) (sim.Result, error) {
+		m.Add(key(density, latFactor, refresh), func(runner.Ctx) (sim.Result, error) {
 			opt := sim.DefaultOptions(mix.Specs[:]...)
 			opt.MemCfg = sim.SmallMemConfig()
 			opt.MemCfg.Timing = opt.MemCfg.Timing.ScaleTRFC(scaleRFC)
@@ -358,14 +459,38 @@ func Fig19(o SysOptions) (*Table, error) {
 				return sim.RunWithPolicy(opt, periodicScalePolicy{scale: ps, tras: tm.TRAS})
 			}
 			return sim.Run(opt)
-		}
+		})
+	}
 
-		noRef, err := run(1.0, false)
+	for _, density := range fig19Densities {
+		add(density, 1.0, false)
+		for _, f := range fig19Factors {
+			add(density, f, true)
+		}
+	}
+	ropt, err := o.runnerOptions("fig19")
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner.Run(ropt, m.Jobs())
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(k string) (sim.Result, error) {
+		res, ok := results[k]
+		if !ok {
+			return sim.Result{}, fmt.Errorf("exp: internal: cell %q not planned", k)
+		}
+		return res, nil
+	}
+
+	for _, density := range fig19Densities {
+		noRef, err := lookup(key(density, 1.0, false))
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range []float64{1.00, 0.81, 0.64, 0.45, 0.36, 0.27} {
-			res, err := run(f, true)
+		for _, f := range fig19Factors {
+			res, err := lookup(key(density, f, true))
 			if err != nil {
 				return nil, err
 			}
@@ -391,27 +516,32 @@ func RunTable(o SysOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := newRunner(o)
-	for _, spec := range specs {
-		base, err := r.run("run-base/"+spec.Name, []trace.Spec{spec}, "None", 1024, nil, false)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(spec.Name, "None", "-", base.IPC[0], 1.0,
-			100*base.PrevRefBusyFraction, base.Stats.AvgReadLatency(),
-			base.Stats.Acts, base.Stats.VRRs, base.Stats.RFMs, base.Energy.Total()*1e6)
-		for _, mech := range o.mitigations() {
-			for _, nrh := range o.NRHs {
-				key := fmt.Sprintf("run/%s/%s/%d", spec.Name, mech, nrh)
-				res, err := r.run(key, []trace.Spec{spec}, mech, nrh, nil, false)
-				if err != nil {
-					return nil, err
+	err = o.sweep(t, "run", func(t *Table, run simRun) error {
+		for _, spec := range specs {
+			base, err := run("run-base/"+spec.Name, []trace.Spec{spec}, "None", 1024, nil, false)
+			if err != nil {
+				return err
+			}
+			t.AddRow(spec.Name, "None", "-", base.IPC[0], 1.0,
+				100*base.PrevRefBusyFraction, base.Stats.AvgReadLatency(),
+				base.Stats.Acts, base.Stats.VRRs, base.Stats.RFMs, base.Energy.Total()*1e6)
+			for _, mech := range o.mitigations() {
+				for _, nrh := range o.NRHs {
+					key := fmt.Sprintf("run/%s/%s/%d", spec.Name, mech, nrh)
+					res, err := run(key, []trace.Spec{spec}, mech, nrh, nil, false)
+					if err != nil {
+						return err
+					}
+					t.AddRow(spec.Name, mech, nrh, res.IPC[0], res.IPC[0]/base.IPC[0],
+						100*res.PrevRefBusyFraction, res.Stats.AvgReadLatency(),
+						res.Stats.Acts, res.Stats.VRRs, res.Stats.RFMs, res.Energy.Total()*1e6)
 				}
-				t.AddRow(spec.Name, mech, nrh, res.IPC[0], res.IPC[0]/base.IPC[0],
-					100*res.PrevRefBusyFraction, res.Stats.AvgReadLatency(),
-					res.Stats.Acts, res.Stats.VRRs, res.Stats.RFMs, res.Energy.Total()*1e6)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

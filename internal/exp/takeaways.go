@@ -155,7 +155,7 @@ func berAt(co CharOptions, id string, factor float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	_, bers, err := normalizedPerRow(m, co, factor, 1, 80)
+	_, bers, err := normalizedPerRow(co.serialCharRun(), m, factor, 1, 80)
 	if err != nil {
 		return 0, err
 	}

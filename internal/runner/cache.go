@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// buildID fingerprints the running executable (SHA-256 of its bytes),
+// computed once per process. Mixing it into every cache hash means a
+// recompiled binary never reads entries written by a different build —
+// results cached under old code are recomputed, not replayed. With
+// unchanged sources, `go run` / `go build` reproduce the same binary,
+// so caches survive across invocations of the same code.
+var buildID = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-build"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown-build"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown-build"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:20]
+})
+
+// Cache persists job results as one JSON file per (fingerprint, seed,
+// key) tuple. The zero value is not usable; construct with NewCache.
+type Cache struct {
+	dir string
+
+	hits, misses atomic.Int64
+}
+
+// NewCache opens (creating if needed) a cache directory.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns how many loads hit and missed since construction.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// entry is the on-disk envelope. Key and fingerprint are stored
+// alongside the result and re-checked on load, so entries are
+// self-describing and a hash collision cannot silently alias two
+// cells.
+type entry struct {
+	Key         string          `json:"key"`
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// fullFingerprint is what entries are stored and validated under: the
+// caller's fingerprint plus the build identity.
+func fullFingerprint(fingerprint string) string {
+	return fingerprint + "\x1fbuild=" + buildID()
+}
+
+func (c *Cache) hash(fingerprint string, seed uint64, key string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x1f%d\x1f%s", fullFingerprint(fingerprint), seed, key)
+	return hex.EncodeToString(h.Sum(nil))[:40]
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// load fills out from the entry under hash, reporting whether it was a
+// usable hit. Unreadable, corrupt or mismatched entries count as
+// misses: recomputing is always safe, returning a wrong result never.
+func (c *Cache) load(hash, fingerprint, key string, out any) bool {
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Key != key ||
+		e.Fingerprint != fullFingerprint(fingerprint) ||
+		json.Unmarshal(e.Result, out) != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// store writes the entry under hash atomically: a temp file in the
+// same directory, then rename, so a concurrent reader sees either
+// nothing or the complete entry.
+func (c *Cache) store(hash, fingerprint, key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(entry{Key: key, Fingerprint: fullFingerprint(fingerprint), Result: raw})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Package runner is the repository's generic experiment engine: it
+// takes a matrix of independent jobs (e.g. mitigation x NRH x PaCRAM
+// config x workload), fans them out over a bounded worker pool, caches
+// completed results on disk, and streams progress to the caller.
+// Every sweep driver in internal/exp, the artifact checker and the
+// examples execute their simulation and characterization cells through
+// it.
+//
+// # Determinism
+//
+// Results are bit-identical at any worker count, including 1. The
+// engine guarantees this by construction rather than by convention:
+//
+//   - Jobs share no state. A job receives only its Ctx and whatever
+//     its closure captured at planning time; the engine never passes
+//     information between jobs.
+//
+//   - Each job's RNG seed is derived deterministically from the
+//     engine's base seed and the job's key (Ctx.Seed), never from
+//     scheduling order, worker identity, or time. Two runs with the
+//     same base seed and key always observe the same Ctx.Seed.
+//
+//   - The result map is keyed by job key, so assembly order is the
+//     caller's loop order, not completion order.
+//
+// Callers may ignore Ctx.Seed and capture a seed of their own: paired
+// experiments (a baseline and a treatment that must see identical
+// random workload streams) deliberately run every cell at the same
+// seed, which is equally deterministic. Ctx.Seed exists for job
+// matrices whose cells must be statistically independent instead.
+//
+// # Caching
+//
+// With Options.Cache set, a completed job's result is stored as JSON
+// in one file per job, keyed by a SHA-256 hash of the options
+// fingerprint, the base seed, the job key, and a fingerprint of the
+// running executable. A later run with the same tuple loads the
+// stored result and skips the computation; any change to the
+// fingerprint (scale, seed) or to the compiled code misses the cache
+// rather than replaying results computed by different code. Cache
+// files are written atomically (temp file + rename), so concurrent
+// processes sharing a cache directory at worst duplicate work, never
+// corrupt it. Corrupt or mismatched entries are treated as misses and
+// rewritten, and a failed store (disk full mid-run) degrades to a
+// one-time warning, never to a lost result.
+//
+// The cache stores whatever the job returned, so cached and computed
+// results are interchangeable only if job result types marshal to
+// JSON losslessly (exported fields, no NaN/Inf) — true for all result
+// types in this repository.
+//
+// # Failure
+//
+// A failing job does not deadlock or abandon the pool: dispatch stops,
+// in-flight jobs drain, and Run returns the failed job's error
+// (lowest job index wins when several fail, keeping the reported
+// error deterministic too).
+package runner

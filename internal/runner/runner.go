@@ -1,0 +1,210 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+
+	"pacram/internal/xrand"
+)
+
+// Ctx is what a job learns about itself at execution time.
+type Ctx struct {
+	// Key is the job's matrix key.
+	Key string
+	// Seed is derived deterministically from the engine's base seed
+	// and Key; it does not depend on worker count or scheduling.
+	Seed uint64
+}
+
+// Job is one cell of a sweep matrix. Key must be unique within the
+// matrix and stable across runs: it names the cell in the result map
+// and, together with the options fingerprint, addresses its cache
+// entry.
+type Job[T any] struct {
+	Key string
+	Run func(Ctx) (T, error)
+}
+
+// Options configures one engine invocation.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Seed is the base seed jobs' Ctx.Seed values are derived from.
+	// It is also mixed into cache hashes.
+	Seed uint64
+	// Fingerprint names everything outside the job keys that affects
+	// results (scale knobs, config version). Jobs cached under one
+	// fingerprint are never returned under another.
+	Fingerprint string
+	// Cache, when non-nil, persists results on disk (see NewCache).
+	Cache *Cache
+	// Progress, when non-nil, receives streaming progress and ETA
+	// lines (typically os.Stderr).
+	Progress io.Writer
+	// Label prefixes progress output.
+	Label string
+}
+
+// WithCacheDir returns a copy of the options with the cache opened at
+// dir; an empty dir leaves caching off. This is the one place the
+// open-if-configured dance lives, shared by every front end.
+func (o Options) WithCacheDir(dir string) (Options, error) {
+	if dir == "" {
+		return o, nil
+	}
+	cache, err := NewCache(dir)
+	if err != nil {
+		return Options{}, err
+	}
+	o.Cache = cache
+	return o, nil
+}
+
+// Matrix accumulates jobs, deduplicating by key: sweep drivers
+// naturally request shared cells (baselines, normalization anchors)
+// many times, and only the first request plans the job.
+type Matrix[T any] struct {
+	jobs []Job[T]
+	seen map[string]bool
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix[T any]() *Matrix[T] {
+	return &Matrix[T]{seen: make(map[string]bool)}
+}
+
+// Add plans one job unless key is already planned.
+func (m *Matrix[T]) Add(key string, run func(Ctx) (T, error)) {
+	if m.seen[key] {
+		return
+	}
+	m.seen[key] = true
+	m.jobs = append(m.jobs, Job[T]{Key: key, Run: run})
+}
+
+// Len returns the number of distinct planned jobs.
+func (m *Matrix[T]) Len() int { return len(m.jobs) }
+
+// Jobs returns the planned jobs in planning order.
+func (m *Matrix[T]) Jobs() []Job[T] { return m.jobs }
+
+// JobSeed returns the seed a job with the given key observes as
+// Ctx.Seed under the given base seed.
+func JobSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return xrand.Derive(base, h.Sum64()).Uint64()
+}
+
+// Run executes the jobs over the worker pool and returns the results
+// keyed by job key. See the package documentation for the determinism,
+// caching and failure guarantees.
+func Run[T any](opt Options, jobs []Job[T]) (map[string]T, error) {
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" || j.Run == nil {
+			return nil, fmt.Errorf("runner: job with empty key or nil func")
+		}
+		if seen[j.Key] {
+			return nil, fmt.Errorf("runner: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	prog := newProgress(opt.Progress, opt.Label, len(jobs))
+
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		once      sync.Once
+		feed      = make(chan int)
+		storeWarn sync.Once
+	)
+	fail := func() { once.Do(func() { close(stop) }) }
+	// Caching is an optimization: a failed store (disk full, permission
+	// lost mid-run) must not discard a computed result or abort the
+	// sweep. Warn once and keep going uncached.
+	warnStore := func(key string, err error) {
+		storeWarn.Do(func() {
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "\nrunner: warning: cannot cache %s (continuing uncached): %v\n", key, err)
+			}
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				j := jobs[i]
+				ctx := Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)}
+				if opt.Cache != nil {
+					hash := opt.Cache.hash(opt.Fingerprint, opt.Seed, j.Key)
+					if ok := opt.Cache.load(hash, opt.Fingerprint, j.Key, &results[i]); ok {
+						prog.step(true)
+						continue
+					}
+					res, err := j.Run(ctx)
+					if err != nil {
+						errs[i] = err
+						fail()
+						continue
+					}
+					results[i] = res
+					if err := opt.Cache.store(hash, opt.Fingerprint, j.Key, res); err != nil {
+						warnStore(j.Key, err)
+					}
+					prog.step(false)
+					continue
+				}
+				res, err := j.Run(ctx)
+				if err != nil {
+					errs[i] = err
+					fail()
+					continue
+				}
+				results[i] = res
+				prog.step(false)
+			}
+		}()
+	}
+
+	// Dispatch until done or a job fails; then drain.
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog.finish()
+
+	out := make(map[string]T, len(jobs))
+	for i, j := range jobs {
+		out[j.Key] = results[i]
+	}
+	return out, nil
+}
