@@ -1,0 +1,202 @@
+// Command scenario runs declarative experiment specs: JSON files (or
+// built-in catalog entries) describing memory geometry, mitigation and
+// PaCRAM configuration, per-core workloads and sweep axes, compiled
+// onto the parallel sweep engine. It is the front door to experiments
+// the paper's figure drivers never hard-coded.
+//
+// Usage:
+//
+//	scenario list                     # built-in catalog
+//	scenario metrics                  # per-member metric reference
+//	scenario validate [file...]       # no args: validate the catalog
+//	scenario run [flags] <name|file>...
+//
+// Examples:
+//
+//	scenario run hammer-victim
+//	scenario run fig17 -parallel 8 -cache .pacram-cache -csv out/
+//	scenario validate my-experiment.json
+//	scenario run my-experiment.json -quiet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pacram/internal/exp"
+	"pacram/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "metrics":
+		err = metrics()
+	case "validate":
+		err = validate(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  scenario list                     list the built-in catalog
+  scenario metrics                  list the per-member metrics columns can use
+  scenario validate [file...]       validate spec files (no args: the catalog)
+  scenario run [flags] <name|file>  run built-in scenarios or spec files
+
+run flags:
+  -parallel N   worker pool size (0 = all CPUs); results identical at any value
+  -cache DIR    persist per-cell results; re-runs skip finished cells
+  -csv DIR      also write per-scenario CSV files
+  -quiet        suppress progress/ETA output on stderr
+`)
+}
+
+func list() error {
+	specs, err := scenario.Catalog()
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		p, err := s.Compile()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %3d cells, %2d rows  %s\n", s.Name, p.Jobs(), p.Rows(), s.Description)
+	}
+	return nil
+}
+
+func metrics() error {
+	for _, line := range scenario.MetricDocs() {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func validate(paths []string) error {
+	if len(paths) == 0 {
+		specs, err := scenario.Catalog()
+		if err != nil {
+			return err
+		}
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				return err
+			}
+			fmt.Printf("builtin %s: ok\n", s.Name)
+		}
+		return nil
+	}
+	for _, path := range paths {
+		s, err := scenario.LoadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		parallel = fs.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
+		cacheDir = fs.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
+		csvDir   = fs.String("csv", "", "directory to write per-scenario CSV files")
+		quiet    = fs.Bool("quiet", false, "suppress progress/ETA output on stderr")
+	)
+	// Accept flags before or after the scenario names.
+	var names []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		rest := fs.Args()
+		if len(rest) == len(args) {
+			// Parse consumed nothing: the head is a non-flag argument.
+			names = append(names, rest[0])
+			rest = rest[1:]
+		}
+		args = rest
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("run: need a built-in scenario name or spec file (see 'scenario list')")
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	opt := scenario.RunOptions{Parallel: *parallel, CacheDir: *cacheDir, Progress: progress}
+
+	for _, name := range names {
+		s, err := load(name)
+		if err != nil {
+			return err
+		}
+		tbl, err := scenario.Run(s, opt)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// load resolves a run argument: a path to a spec file if it names one
+// on disk (or looks like a path), a built-in catalog entry otherwise.
+func load(name string) (*scenario.Spec, error) {
+	if _, err := os.Stat(name); err == nil {
+		return scenario.LoadFile(name)
+	}
+	if strings.ContainsAny(name, "/.") {
+		return scenario.LoadFile(name)
+	}
+	return scenario.ByName(name)
+}
+
+func writeCSV(dir string, tbl *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"pacram/internal/exp"
+	"pacram/internal/mitigation"
 	"pacram/internal/sim"
 	"pacram/internal/trace"
 )
@@ -63,6 +64,15 @@ func main() {
 	}
 	if *mechs != "" {
 		opt.Mitigations = strings.Split(*mechs, ",")
+		// Reject typos up front: a bad name would otherwise surface
+		// deep inside sim.Run, after minutes of valid cells.
+		for _, m := range opt.Mitigations {
+			if !mitigation.Known(m) {
+				fmt.Fprintf(os.Stderr, "simulate: unknown mitigation %q (valid: %s, None)\n",
+					m, strings.Join(mitigation.AllNames(), ", "))
+				os.Exit(1)
+			}
+		}
 	}
 	opt.NRHs = opt.NRHs[:0]
 	for _, s := range strings.Split(*nrhs, ",") {

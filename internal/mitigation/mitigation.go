@@ -81,6 +81,21 @@ func AllNames() []string {
 	return []string{NamePARA, NameRFM, NamePRAC, NameHydra, NameGraphene}
 }
 
+// Known reports whether name is a mechanism New can build, or the
+// "None"/"" baseline. Front ends use it to reject typos before
+// planning a sweep.
+func Known(name string) bool {
+	if name == "" || name == "None" {
+		return true
+	}
+	for _, n := range AllNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // New builds a mechanism by name.
 func New(name string, cfg Config) (memsys.Mitigation, error) {
 	if err := cfg.Validate(); err != nil {

@@ -1,0 +1,24 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// HashKey builds a content-addressed job key: prefix plus a short
+// digest of v's JSON encoding. Sweep front ends use it to name cells
+// by their full resolved configuration, so two sweep points that
+// resolve to the same cell (a shared baseline, a duplicated corner)
+// collapse onto one Matrix job and one cache entry. v must be
+// JSON-encodable with a deterministic encoding (structs and slices;
+// avoid NaN/Inf floats).
+func HashKey(prefix string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runner: hashing key %q: %w", prefix, err)
+	}
+	sum := sha256.Sum256(b)
+	return prefix + "@" + hex.EncodeToString(sum[:8]), nil
+}

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"pacram/internal/exp"
+	"pacram/internal/runner"
+	"pacram/internal/sim"
+	"pacram/internal/stats"
+)
+
+// RunOptions configures one scenario execution.
+type RunOptions struct {
+	// Parallel bounds the runner's worker pool (0 = all CPUs). Results
+	// are bit-identical at any worker count.
+	Parallel int
+	// CacheDir, when non-empty, persists per-cell results as JSON;
+	// repeated runs at the same configuration skip finished cells. The
+	// cache is shared across scenarios: cells are addressed by their
+	// full resolved configuration, not by scenario name.
+	CacheDir string
+	// Progress, when non-nil, receives streaming progress and ETA
+	// lines (typically os.Stderr).
+	Progress io.Writer
+}
+
+// Run compiles and executes a spec in one call.
+func Run(s *Spec, opt RunOptions) (*exp.Table, error) {
+	p, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(opt)
+}
+
+// Run executes the plan's job matrix and assembles the output table.
+func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
+	ropt, err := runner.Options{
+		Workers: opt.Parallel,
+		// Cells ignore Ctx.Seed (each carries its resolved seed in its
+		// key), so the engine seed is pinned to 0: mixing the spec
+		// seed into cache hashes would fragment the cache between
+		// specs that default the seed and specs that spell it out.
+		Seed: 0,
+		// Keys carry the full resolved cell configuration, so the
+		// fingerprint only needs to version the schema.
+		Fingerprint: "scenario:v1",
+		Progress:    opt.Progress,
+		Label:       p.Spec.Name,
+	}.WithCacheDir(opt.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner.Run(ropt, p.matrix.Jobs())
+	if err != nil {
+		return nil, err
+	}
+
+	t := &exp.Table{ID: p.Spec.Table.ID, Title: p.Spec.Table.Title}
+	if t.ID == "" {
+		t.ID = p.Spec.Name
+	}
+	if t.Title == "" {
+		t.Title = p.Spec.Description
+	}
+	for _, col := range p.Spec.Columns {
+		t.Columns = append(t.Columns, col.Name)
+	}
+	for _, row := range p.rows {
+		cells := make([]any, 0, len(p.Spec.Columns))
+		for _, col := range p.Spec.Columns {
+			if col.Axis != "" {
+				cells = append(cells, row.display[col.Axis])
+				continue
+			}
+			vals := make([]float64, 0, len(row.groups[p.groupIdx[col.Group]]))
+			for _, mc := range row.groups[p.groupIdx[col.Group]] {
+				res, ok := results[mc.key]
+				if !ok {
+					return nil, fmt.Errorf("scenario %s: internal: cell %q not planned", p.Spec.Name, mc.key)
+				}
+				var base *sim.Result
+				if mc.baseKey != "" {
+					b, ok := results[mc.baseKey]
+					if !ok {
+						return nil, fmt.Errorf("scenario %s: internal: baseline cell %q not planned", p.Spec.Name, mc.baseKey)
+					}
+					base = &b
+				}
+				vals = append(vals, metricRegistry[col.Metric].eval(&res, base))
+			}
+			v, err := aggregate(col.Agg, vals)
+			if err != nil {
+				return nil, err // unreachable: validated at compile time
+			}
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// metric is one per-member measurement; needsBase metrics divide by
+// the scenario baseline cell.
+type metric struct {
+	needsBase bool
+	doc       string
+	eval      func(res, base *sim.Result) float64
+}
+
+// metricRegistry is the per-member metric surface. normWS equals
+// plain normalized IPC for single-core members and per-core weighted
+// speedup for mixes — the figure drivers' convention.
+var metricRegistry = map[string]metric{
+	"normWS": {true, "weighted speedup vs baseline / cores", func(r, b *sim.Result) float64 {
+		return stats.WeightedSpeedup(r.IPC, b.IPC) / float64(len(r.IPC))
+	}},
+	"normEnergy": {true, "DRAM energy vs baseline", func(r, b *sim.Result) float64 {
+		return r.Energy.Total() / b.Energy.Total()
+	}},
+	"normReadLat": {true, "average read latency vs baseline", func(r, b *sim.Result) float64 {
+		return r.Stats.AvgReadLatency() / b.Stats.AvgReadLatency()
+	}},
+	"sumIPC":  {false, "total system IPC", func(r, _ *sim.Result) float64 { return r.SumIPC() }},
+	"meanIPC": {false, "per-core mean IPC", func(r, _ *sim.Result) float64 { return r.SumIPC() / float64(len(r.IPC)) }},
+	"energyUJ": {false, "DRAM energy in microjoules", func(r, _ *sim.Result) float64 {
+		return r.Energy.Total() * 1e6
+	}},
+	"prevRefBusyPct": {false, "bank time in preventive refresh, percent", func(r, _ *sim.Result) float64 {
+		return 100 * r.PrevRefBusyFraction
+	}},
+	"partialPct": {false, "preventive refreshes at reduced latency, percent", func(r, _ *sim.Result) float64 {
+		return 100 * r.PartialFraction
+	}},
+	"avgReadLat": {false, "average read latency in cycles", func(r, _ *sim.Result) float64 {
+		return r.Stats.AvgReadLatency()
+	}},
+	"acts":      {false, "row activations", func(r, _ *sim.Result) float64 { return float64(r.Stats.Acts) }},
+	"vrrs":      {false, "preventive (victim-row) refreshes", func(r, _ *sim.Result) float64 { return float64(r.Stats.VRRs) }},
+	"rfms":      {false, "refresh-management commands", func(r, _ *sim.Result) float64 { return float64(r.Stats.RFMs) }},
+	"refs":      {false, "periodic refreshes", func(r, _ *sim.Result) float64 { return float64(r.Stats.Refs) }},
+	"scaledNRH": {false, "threshold the mechanism ran with", func(r, _ *sim.Result) float64 { return float64(r.ScaledNRH) }},
+}
+
+// metricNames lists the registry for error messages, sorted.
+func metricNames() string {
+	names := make([]string, 0, len(metricRegistry))
+	for n := range metricRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// MetricDocs returns "name — doc" lines for CLI help, sorted.
+func MetricDocs() []string {
+	names := make([]string, 0, len(metricRegistry))
+	for n := range metricRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s — %s", n, metricRegistry[n].doc)
+	}
+	return out
+}
+
+// aggregate folds per-member values into one cell.
+func aggregate(agg string, vals []float64) (float64, error) {
+	switch agg {
+	case "", "mean":
+		return stats.Mean(vals), nil
+	case "min":
+		return stats.Min(vals), nil
+	case "max":
+		return stats.Max(vals), nil
+	case "geomean":
+		return stats.Geomean(vals), nil
+	case "sum":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	}
+	return math.NaN(), fmt.Errorf("unknown aggregation %q (have: mean min max sum geomean)", agg)
+}

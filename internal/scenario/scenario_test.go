@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pacram/internal/exp"
+)
+
+// renderTable gives the byte-exact text a table prints as.
+func renderTable(t *testing.T, tbl *exp.Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tbl.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestFig17Bridge is the exp-to-scenario acceptance check at test
+// scale: the built-in fig17 scenario, shrunk the way a user would
+// shrink it (fewer members, fewer axis values, smaller budgets), must
+// reproduce exp.Fig17's table byte-for-byte. The full-scale identity
+// uses the identical code paths with more values.
+func TestFig17Bridge(t *testing.T) {
+	s, err := ByName("fig17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sim.Instructions = 12_000
+	s.Sim.Warmup = 1_200
+	// Shrink: two single-core workloads, one mix, two mechanisms, one
+	// threshold; keep all four PaCRAM configs.
+	s.Workloads[0].Members = s.Workloads[0].Members[:2]
+	s.Workloads[1].Members = s.Workloads[1].Members[:1]
+	s.Sweep.Axes[0].Values = []json.RawMessage{
+		json.RawMessage(`"RFM"`), json.RawMessage(`"PARA"`),
+	}
+	s.Sweep.Axes[1].Values = []json.RawMessage{json.RawMessage(`64`)}
+
+	got, err := Run(s, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := exp.SysOptions{
+		Workloads:    []string{"429.mcf", "470.lbm"},
+		MixCount:     1,
+		Instructions: 12_000,
+		Warmup:       1_200,
+		NRHs:         []int{64},
+		Mitigations:  []string{"RFM", "PARA"},
+		Seed:         0x51317,
+		Parallel:     4,
+	}
+	want, err := exp.Fig17(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotText, wantText := renderTable(t, got), renderTable(t, want)
+	if gotText != wantText {
+		t.Errorf("scenario fig17 diverges from exp.Fig17:\n--- scenario ---\n%s--- exp ---\n%s", gotText, wantText)
+	}
+}
+
+// TestCatalogValidates compiles every built-in scenario.
+func TestCatalogValidates(t *testing.T) {
+	specs, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestBaselineDeduplication checks that the normalization cell is
+// planned once per member, not once per sweep point: datacenter runs
+// 10 points over one member and must plan 11 jobs, not 20.
+func TestBaselineDeduplication(t *testing.T) {
+	s, err := ByName("datacenter-serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jobs() != 11 || p.Rows() != 10 {
+		t.Errorf("datacenter-serving plans %d jobs / %d rows, want 11 / 10", p.Jobs(), p.Rows())
+	}
+}
+
+// TestParallelDeterminism runs a scenario with attacker and phased
+// cores at two worker counts; output must be identical.
+func TestParallelDeterminism(t *testing.T) {
+	shrink := func(name string) *Spec {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sim.Instructions = 6_000
+		s.Sim.Warmup = 600
+		return s
+	}
+	for _, name := range []string{"hammer-victim", "multi-tenant"} {
+		t.Run(name, func(t *testing.T) {
+			one, err := Run(shrink(name), RunOptions{Parallel: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eight, err := Run(shrink(name), RunOptions{Parallel: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := renderTable(t, one), renderTable(t, eight)
+			if a != b {
+				t.Errorf("output differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestCacheRoundTrip runs a scenario cold then warm; the warm run must
+// serve every cell from the cache and produce identical output.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	load := func() *Spec {
+		s, err := ByName("refresh-stress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sim.Instructions = 6_000
+		s.Sim.Warmup = 600
+		return s
+	}
+	cold, err := Run(load(), RunOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(load(), RunOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderTable(t, cold) != renderTable(t, warm) {
+		t.Error("cached re-run differs from cold run")
+	}
+}
+
+// TestLoaderErrors exercises the validating loader's error paths: each
+// broken spec must fail with the precise field path.
+func TestLoaderErrors(t *testing.T) {
+	// base is a minimal valid spec the cases below mutate.
+	base := `{
+		"name": "x",
+		"sim": {"instructions": 1000},
+		"config": {"mitigation": "RFM", "nrh": 64},
+		"workloads": [{"name": "g", "members": [{"cores": [{"workload": "429.mcf"}]}]}],
+		"columns": [{"name": "ipc", "group": "g", "metric": "sumIPC"}]
+	}`
+	if s, err := Parse([]byte(base)); err != nil {
+		t.Fatal(err)
+	} else if err := s.Validate(); err != nil {
+		t.Fatalf("base spec should validate: %v", err)
+	}
+
+	cases := []struct {
+		name, patch, want string
+	}{
+		{"unknown field", `{"name":"x","bogus":1}`, "bogus"},
+		{"unknown workload", `"workloads":[{"name":"g","members":[{"cores":[{"workload":"429.mcf"},{"workload":"470.lbm"},{"workload":"foo"}]}]}]`,
+			`workloads["g"].members[0].cores[2].workload: unknown spec "foo"`},
+		{"unknown mix", `"workloads":[{"name":"g","members":[{"mix":"mix77"}]}]`,
+			`workloads["g"].members[0].mix`},
+		{"mix and cores", `"workloads":[{"name":"g","members":[{"mix":"mix00","cores":[{"workload":"429.mcf"}]}]}]`,
+			"either mix or cores"},
+		{"bad pattern", `"workloads":[{"name":"g","members":[{"cores":[{"synthetic":{"name":"s","pattern":"spiral","bubbleMean":10,"footprintMB":64}}]}]}]`,
+			`cores[0].synthetic.pattern: trace: unknown access pattern "spiral"`},
+		{"bad attacker", `"workloads":[{"name":"g","members":[{"cores":[{"attacker":{"sides":-3}}]}]}]`,
+			"cores[0].attacker"},
+		{"phase without accesses", `"workloads":[{"name":"g","members":[{"cores":[{"phases":[{"workload":"429.mcf"}]}]}]}]`,
+			"phases[0].accesses"},
+		{"unknown mechanism", `"config":{"mitigation":"Chrome","nrh":64}`, `mitigation: unknown mechanism "Chrome"`},
+		{"missing nrh", `"config":{"mitigation":"RFM"}`, "nrh"},
+		{"bad factor", `"config":{"mitigation":"RFM","nrh":64,"pacram":{"module":"S6","factor":0.5}}`,
+			"pacram.factor"},
+		{"bad module", `"config":{"mitigation":"RFM","nrh":64,"pacram":{"module":"Z9","factor":0.45}}`,
+			"pacram.module"},
+		{"bad geometry", `"memory":{"rows":1000}`, "memory"},
+		{"unknown axis param", `"sweep":{"axes":[{"param":"voltage","values":[1]}]}`, `unknown sweep parameter "voltage"`},
+		{"mistyped axis value", `"sweep":{"axes":[{"param":"nrh","values":["high"]}]}`, "sweep.axes[0].values[0]"},
+		{"label mismatch", `"sweep":{"axes":[{"param":"nrh","values":[64,32],"labels":["only-one"]}]}`, "labels"},
+		{"zip length mismatch", `"sweep":{"mode":"zip","axes":[{"param":"nrh","values":[64,32]},{"param":"mitigation","values":["RFM"]}]}`,
+			"zip mode needs equal lengths"},
+		{"bad sweep mode", `"sweep":{"mode":"cartesian","axes":[{"param":"nrh","values":[64]}]}`, "sweep.mode"},
+		{"column without group", `"columns":[{"name":"ipc","group":"nope","metric":"sumIPC"}]`, `no workload group "nope"`},
+		{"unknown metric", `"columns":[{"name":"ipc","group":"g","metric":"vibes"}]`, `unknown metric "vibes"`},
+		{"norm without baseline", `"columns":[{"name":"n","group":"g","metric":"normWS"}]`, "baseline"},
+		{"bad agg", `"columns":[{"name":"ipc","group":"g","metric":"sumIPC","agg":"median"}]`, `unknown aggregation "median"`},
+		{"axis column without sweep", `"columns":[{"name":"NRH","axis":"nrh"}]`, `no sweep axis "nrh"`},
+		{"axis column with group", `"sweep":{"axes":[{"param":"nrh","values":[64]}]},"columns":[{"name":"NRH","axis":"nrh","group":"g"}]`,
+			"either axis or group"},
+		{"swept zero instructions", `"sweep":{"axes":[{"param":"instructions","values":[0,30000]}]}`,
+			"instructions: must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Overlay the patch onto the base JSON object.
+			var obj map[string]json.RawMessage
+			if err := json.Unmarshal([]byte(base), &obj); err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(tc.patch, "{") {
+				obj = nil
+				if err := json.Unmarshal([]byte(tc.patch), &obj); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				var kv map[string]json.RawMessage
+				if err := json.Unmarshal([]byte("{"+tc.patch+"}"), &kv); err != nil {
+					t.Fatal(err)
+				}
+				for k, v := range kv {
+					obj[k] = v
+				}
+			}
+			data, err := json.Marshal(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Parse(data)
+			if err == nil {
+				err = s.Validate()
+			}
+			if err == nil {
+				t.Fatalf("broken spec validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestZipSweep checks lockstep expansion: two 2-value axes give two
+// rows, not four.
+func TestZipSweep(t *testing.T) {
+	spec := `{
+		"name": "zip",
+		"sim": {"instructions": 4000, "warmup": 400},
+		"config": {"mitigation": "PARA", "nrh": 64},
+		"workloads": [{"name": "g", "members": [{"cores": [{"workload": "453.povray"}]}]}],
+		"sweep": {"mode": "zip", "axes": [
+			{"param": "mitigation", "values": ["PARA", "RFM"]},
+			{"param": "nrh", "values": [1024, 64]}
+		]},
+		"columns": [
+			{"name": "mechanism", "axis": "mitigation"},
+			{"name": "NRH", "axis": "nrh"},
+			{"name": "ipc", "group": "g", "metric": "sumIPC"}
+		]
+	}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Run(s, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("zip sweep produced %d rows, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "PARA" || tbl.Rows[0][1] != "1024" {
+		t.Errorf("row 0 = %v, want PARA/1024", tbl.Rows[0])
+	}
+	if tbl.Rows[1][0] != "RFM" || tbl.Rows[1][1] != "64" {
+		t.Errorf("row 1 = %v, want RFM/64", tbl.Rows[1])
+	}
+}
+
+// TestMemoryAxis sweeps a geometry parameter end to end.
+func TestMemoryAxis(t *testing.T) {
+	spec := `{
+		"name": "geom",
+		"sim": {"instructions": 4000, "warmup": 400},
+		"config": {"mitigation": "PARA", "nrh": 64},
+		"workloads": [{"name": "g", "members": [{"cores": [{"workload": "429.mcf"}]}]}],
+		"sweep": {"axes": [{"param": "memory.banksPerGroup", "values": [2, 4]}]},
+		"columns": [
+			{"name": "banksPerGroup", "axis": "memory.banksPerGroup"},
+			{"name": "ipc", "group": "g", "metric": "sumIPC"}
+		]
+	}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Run(s, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] == tbl.Rows[1][1] {
+		t.Errorf("doubling banks per group left IPC unchanged (%s)", tbl.Rows[0][1])
+	}
+}

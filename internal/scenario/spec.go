@@ -1,0 +1,287 @@
+// Package scenario is the declarative front door to the simulation
+// engine: JSON experiment specs describing memory-system geometry,
+// mitigation configuration, PaCRAM operating points, per-core
+// workloads (catalog entries, parametric synthetics, adversarial
+// attackers, phased streams) and sweep axes. A spec compiles into an
+// internal/runner job matrix — with content-addressed keys, so cells
+// shared between sweep points (baselines above all) run once — and
+// assembles into the same Table type internal/exp renders, making
+// every knob in sim.Options, memsys.Config and pacram.Config
+// reachable without writing Go.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec is one declarative experiment.
+type Spec struct {
+	// Name identifies the scenario (used in errors, progress and the
+	// default table ID).
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Table overrides the output table's ID and title.
+	Table TableMeta `json:"table,omitzero"`
+	// Sim sets the per-cell instruction budgets and seed.
+	Sim SimParams `json:"sim"`
+	// Memory overrides the scaled-down paper memory system
+	// (sim.SmallMemConfig) field by field; nil keeps it as is.
+	Memory *MemParams `json:"memory,omitempty"`
+	// Config is the base mitigation configuration every sweep point
+	// starts from.
+	Config CellConfig `json:"config,omitzero"`
+	// Baseline, when set, is the normalization cell: each member also
+	// runs with this mitigation configuration (memory and sim
+	// parameters inherited from the sweep point, unless Baseline.Memory
+	// pins them), and norm* metrics divide by it.
+	Baseline *BaselineSpec `json:"baseline,omitempty"`
+	// Workloads are the named workload groups metrics aggregate over.
+	Workloads []Group `json:"workloads"`
+	// Sweep expands the spec into one output row per point; nil means
+	// a single row at the base configuration.
+	Sweep *Sweep `json:"sweep,omitempty"`
+	// Columns define the output table, left to right.
+	Columns []Column `json:"columns"`
+}
+
+// TableMeta names the output table.
+type TableMeta struct {
+	ID    string `json:"id,omitempty"`    // default: scenario name
+	Title string `json:"title,omitempty"` // default: description
+}
+
+// SimParams are the per-cell simulation scale knobs.
+type SimParams struct {
+	Instructions uint64 `json:"instructions"`
+	Warmup       uint64 `json:"warmup,omitempty"`
+	// Seed drives every cell's workload streams and probabilistic
+	// mitigations (0 = the paper driver default 0x51317).
+	Seed      uint64 `json:"seed,omitempty"`
+	MaxCycles uint64 `json:"maxCycles,omitempty"`
+}
+
+// MemParams override the base memory system (sim.SmallMemConfig: the
+// paper's DDR5 system at 4096 rows/bank). Zero fields inherit.
+type MemParams struct {
+	Ranks          int     `json:"ranks,omitempty"`
+	BankGroups     int     `json:"bankGroups,omitempty"`
+	BanksPerGroup  int     `json:"banksPerGroup,omitempty"`
+	Rows           int     `json:"rows,omitempty"`
+	Columns        int     `json:"columns,omitempty"`
+	MOPWidth       int     `json:"mopWidth,omitempty"`
+	BlastRadius    int     `json:"blastRadius,omitempty"`
+	ReadQueue      int     `json:"readQueue,omitempty"`
+	WriteQueue     int     `json:"writeQueue,omitempty"`
+	CPUFreqGHz     float64 `json:"cpuFreqGHz,omitempty"`
+	RefreshEnabled *bool   `json:"refreshEnabled,omitempty"`
+	// TRFCScale multiplies tRFC (the refresh service time), modeling
+	// higher-density chips (x1.45 per density doubling).
+	TRFCScale float64 `json:"trfcScale,omitempty"`
+}
+
+// CellConfig is the mitigation side of a cell.
+type CellConfig struct {
+	// Mitigation is ""/"None" for the unprotected baseline or one of
+	// the five mechanisms.
+	Mitigation string `json:"mitigation,omitempty"`
+	// NRH is the RowHammer threshold the mechanism is configured for.
+	NRH int `json:"nrh,omitempty"`
+	// PaCRAM, when set, wraps the mechanism with partial charge
+	// restoration at the given module/factor operating point.
+	PaCRAM *PaCRAMSpec `json:"pacram,omitempty"`
+	// PeriodicExtension additionally reduces periodic-refresh latency
+	// (Appendix B).
+	PeriodicExtension bool `json:"periodicExtension,omitempty"`
+}
+
+// BaselineSpec is the normalization cell configuration.
+type BaselineSpec struct {
+	CellConfig
+	// Memory, when set, pins memory parameters for the baseline run on
+	// top of the sweep point's (e.g. refreshEnabled=false for a
+	// refresh-free reference) so swept memory axes still share one
+	// deduplicated baseline cell.
+	Memory *MemParams `json:"memory,omitempty"`
+}
+
+// PaCRAMSpec names a PaCRAM operating point; the concrete config is
+// derived per cell from the module's characterization data and the
+// cell's NRH.
+type PaCRAMSpec struct {
+	// Label is the display name in axis columns.
+	Label string `json:"label,omitempty"`
+	// Module is a chips registry ID (e.g. "H5", "M2", "S6").
+	Module string `json:"module"`
+	// Factor is the reduced restoration latency as a fraction of
+	// nominal tRAS; must be one of the characterized factors.
+	Factor float64 `json:"factor"`
+}
+
+// Group is a named set of workload members; metric columns aggregate
+// over a group's members.
+type Group struct {
+	Name    string   `json:"name"`
+	Members []Member `json:"members"`
+}
+
+// Member is one multi-programmed workload (one simulation cell per
+// sweep point): either a catalog mix or an explicit core list.
+type Member struct {
+	Name string `json:"name,omitempty"`
+	// Mix names one of the generated four-core mixes (mix00..mix59).
+	Mix string `json:"mix,omitempty"`
+	// Cores lists one workload per simulated core.
+	Cores []CoreSpec `json:"cores,omitempty"`
+}
+
+// CoreSpec is one core's workload: exactly one of Workload, Synthetic,
+// Attacker or Phases.
+type CoreSpec struct {
+	// Name labels phased workloads (optional elsewhere).
+	Name string `json:"name,omitempty"`
+	// Workload names a catalog entry.
+	Workload string `json:"workload,omitempty"`
+	// Override tweaks the named catalog entry's parameters.
+	Override *SpecOverride `json:"override,omitempty"`
+	// Synthetic is a fully parametric workload.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+	// Attacker is an adversarial hammer generator.
+	Attacker *AttackerSpec `json:"attacker,omitempty"`
+	// Phases cycle multiple synthetic behaviours on one core.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// SyntheticSpec mirrors trace.Spec with a JSON-friendly pattern name.
+type SyntheticSpec struct {
+	Name        string  `json:"name"`
+	Pattern     string  `json:"pattern"` // stream | random | zipf | mixed
+	BubbleMean  int     `json:"bubbleMean"`
+	FootprintMB int     `json:"footprintMB"`
+	BurstLen    int     `json:"burstLen,omitempty"`
+	WriteFrac   float64 `json:"writeFrac,omitempty"`
+	ZipfTheta   float64 `json:"zipfTheta,omitempty"`
+}
+
+// SpecOverride patches individual catalog-spec fields.
+type SpecOverride struct {
+	Name        *string  `json:"name,omitempty"`
+	Pattern     *string  `json:"pattern,omitempty"`
+	BubbleMean  *int     `json:"bubbleMean,omitempty"`
+	FootprintMB *int     `json:"footprintMB,omitempty"`
+	BurstLen    *int     `json:"burstLen,omitempty"`
+	WriteFrac   *float64 `json:"writeFrac,omitempty"`
+	ZipfTheta   *float64 `json:"zipfTheta,omitempty"`
+}
+
+// AttackerSpec mirrors trace.AttackSpec.
+type AttackerSpec struct {
+	Name        string `json:"name,omitempty"`
+	Sides       int    `json:"sides,omitempty"`
+	StrideKB    int    `json:"strideKB,omitempty"`
+	Bubbles     int    `json:"bubbles,omitempty"`
+	VictimEvery int    `json:"victimEvery,omitempty"`
+	FootprintMB int    `json:"footprintMB,omitempty"`
+}
+
+// PhaseSpec is one leg of a phased core: a catalog or synthetic
+// workload that runs for Accesses memory accesses before the stream
+// moves on (cycling).
+type PhaseSpec struct {
+	Workload  string         `json:"workload,omitempty"`
+	Override  *SpecOverride  `json:"override,omitempty"`
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+	Accesses  int            `json:"accesses"`
+}
+
+// Sweep expands axes into output rows.
+type Sweep struct {
+	// Mode is "product" (default: full cross product, rightmost axis
+	// fastest) or "zip" (axes advance in lockstep; equal lengths).
+	Mode string `json:"mode,omitempty"`
+	Axes []Axis `json:"axes"`
+}
+
+// Axis sweeps one parameter. Values are typed per parameter: strings
+// for "mitigation", integers for "nrh", PaCRAM specs or null for
+// "pacram", and so on (see axis parsing in compile.go for the full
+// parameter list).
+type Axis struct {
+	Param  string            `json:"param"`
+	Values []json.RawMessage `json:"values"`
+	// Labels optionally override the per-value display in axis columns
+	// (same length as Values).
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Column is one output column: either an axis echo or an aggregated
+// metric over a workload group.
+type Column struct {
+	Name string `json:"name"`
+	// Axis echoes the named sweep axis' value for the row.
+	Axis string `json:"axis,omitempty"`
+	// Group and Metric aggregate a per-member metric over the group.
+	Group  string `json:"group,omitempty"`
+	Metric string `json:"metric,omitempty"`
+	// Agg is mean (default), min, max, sum or geomean.
+	Agg string `json:"agg,omitempty"`
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields so schema
+// typos surface as load errors rather than silently ignored knobs.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after spec document")
+	}
+	return &s, nil
+}
+
+// Load reads and decodes a spec.
+func Load(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// LoadFile reads and decodes a spec file.
+func LoadFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate fully resolves the spec — sweep points, workloads, memory
+// geometry, PaCRAM derivations — without running anything.
+func (s *Spec) Validate() error {
+	_, err := s.Compile()
+	return err
+}
+
+// errf builds a scenario-scoped error with a precise field path, e.g.
+//
+//	scenario "x": workloads["mixes"].members[2].cores[0].workload: unknown spec "foo"
+func (s *Spec) errf(path, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if path == "" {
+		return fmt.Errorf("scenario %q: %s", s.Name, msg)
+	}
+	return fmt.Errorf("scenario %q: %s: %s", s.Name, path, msg)
+}

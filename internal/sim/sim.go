@@ -139,7 +139,7 @@ func Run(opt Options) (Result, error) {
 	if len(gens) == 0 {
 		gens = make([]trace.Generator, len(opt.Workloads))
 		for i, spec := range opt.Workloads {
-			gen, err := trace.New(spec, opt.Seed+uint64(i)*0x9E37)
+			gen, err := trace.New(spec, WorkloadSeed(opt.Seed, i))
 			if err != nil {
 				return Result{}, err
 			}
@@ -156,9 +156,17 @@ func Run(opt Options) (Result, error) {
 		maxCycles = 400 * (opt.Warmup + opt.Instructions)
 	}
 
+	// Round-robin core priority: the controller exposes one shared
+	// read queue, so a fixed tick order would hand every freed queue
+	// slot to the lowest-numbered bandwidth hog (an adversarial
+	// hammer core can starve later cores indefinitely). Rotating who
+	// issues first each cycle models the per-requestor arbiter real
+	// controllers place in front of the queue.
 	tick := func() {
-		for _, c := range cores {
-			c.Tick()
+		n := len(cores)
+		start := int(ctrl.Cycle() % uint64(n))
+		for i := 0; i < n; i++ {
+			cores[(start+i)%n].Tick()
 		}
 		ctrl.Tick()
 	}
@@ -217,6 +225,15 @@ func Run(opt Options) (Result, error) {
 		res.PartialFraction = pol.PartialFraction()
 	}
 	return res, nil
+}
+
+// WorkloadSeed is the per-core generator seed Run derives from the
+// run seed: core i's workload stream is seeded with WorkloadSeed(
+// opt.Seed, i). Callers assembling Options.Generators themselves
+// (mixed synthetic/attacker scenarios) use it to keep a given core's
+// stream identical to the Workloads path.
+func WorkloadSeed(base uint64, core int) uint64 {
+	return base + uint64(core)*0x9E37
 }
 
 // RunWithPolicy runs a simulation with an explicit refresh-latency

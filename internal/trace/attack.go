@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+
+	"pacram/internal/xrand"
+)
+
+// AttackSpec parameterizes an adversarial RowHammer-style workload:
+// a core that cycles activations over a small set of aggressor
+// addresses as fast as the controller admits them, periodically
+// reading a victim line between the aggressors. Unlike the synthetic
+// catalog (which models benign programs), attackers maximize same-bank
+// row conflicts, so they stress exactly the activation paths the
+// mitigation mechanisms meter.
+type AttackSpec struct {
+	// Name identifies the workload ("" derives one from the shape).
+	Name string
+	// Sides is the number of aggressor addresses cycled round-robin
+	// (2 = the classic double-sided pattern; 0 defaults to 2).
+	Sides int
+	// StrideBytes is the spacing between consecutive aggressor
+	// addresses. The default 256KB advances the row index by one
+	// within a single bank under the paper's MOP address mapping
+	// (row bits sit above offset+column+rank+bank-group+bank bits =
+	// 18), so consecutive aggressors are same-bank row conflicts —
+	// the pattern RowHammer needs. Aggressors sit at even multiples
+	// of the stride so victims fall between them.
+	StrideBytes int
+	// Bubbles is the fixed non-memory instruction count between
+	// accesses (0 = hammer at full speed).
+	Bubbles int
+	// VictimEvery interleaves one victim read after every VictimEvery
+	// hammer accesses (0 = aggressors only).
+	VictimEvery int
+	// FootprintMB is the region the attack pattern is placed in
+	// (0 defaults to 64MB); the base address is drawn from the seed.
+	FootprintMB int
+}
+
+// WithDefaults returns the spec with zero fields replaced by defaults,
+// so clones and fingerprints see one canonical shape.
+func (s AttackSpec) WithDefaults() AttackSpec {
+	if s.Sides == 0 {
+		s.Sides = 2
+	}
+	if s.StrideBytes == 0 {
+		s.StrideBytes = 256 * 1024
+	}
+	if s.FootprintMB == 0 {
+		s.FootprintMB = 64
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("hammer-%dside", s.Sides)
+	}
+	return s
+}
+
+// Validate checks the spec (after default substitution).
+func (s AttackSpec) Validate() error {
+	s = s.WithDefaults()
+	switch {
+	case s.Sides < 1:
+		return fmt.Errorf("trace: %s: attacker needs Sides >= 1", s.Name)
+	case s.StrideBytes < lineBytes:
+		return fmt.Errorf("trace: %s: attacker stride %dB below line size %dB", s.Name, s.StrideBytes, lineBytes)
+	case s.StrideBytes%lineBytes != 0:
+		return fmt.Errorf("trace: %s: attacker stride %dB not line-aligned", s.Name, s.StrideBytes)
+	case s.Bubbles < 0:
+		return fmt.Errorf("trace: %s: negative bubble count", s.Name)
+	case s.VictimEvery < 0:
+		return fmt.Errorf("trace: %s: negative victim interval", s.Name)
+	case s.FootprintMB < 1:
+		return fmt.Errorf("trace: %s: footprint must be positive", s.Name)
+	case uint64(2*s.Sides+1)*uint64(s.StrideBytes) > uint64(s.FootprintMB)<<20:
+		return fmt.Errorf("trace: %s: attack pattern (%d sides x %dB stride) exceeds %dMB footprint",
+			s.Name, s.Sides, s.StrideBytes, s.FootprintMB)
+	}
+	return nil
+}
+
+// attacker implements Generator for an AttackSpec. Aggressor i lives
+// at base + 2*i*stride; victims at the odd multiples in between.
+type attacker struct {
+	spec AttackSpec
+	seed uint64
+	rng  *xrand.Rand
+	base uint64
+	idx  int
+	hits int // hammer accesses since the last victim read
+}
+
+// NewAttacker builds a deterministic adversarial generator. Clones
+// restart the identical sequence.
+func NewAttacker(spec AttackSpec, seed uint64) (Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaults()
+	g := &attacker{
+		spec: spec,
+		seed: seed,
+		rng:  xrand.Derive(seed, 0xA77, hashName(spec.Name)),
+	}
+	span := uint64(2*spec.Sides+1) * uint64(spec.StrideBytes)
+	slots := (uint64(spec.FootprintMB)<<20 - span) / uint64(spec.StrideBytes)
+	g.base = (g.rng.Uint64() % (slots + 1)) * uint64(spec.StrideBytes)
+	return g, nil
+}
+
+func (g *attacker) Name() string { return g.spec.Name }
+
+func (g *attacker) Clone() Generator {
+	ng, err := NewAttacker(g.spec, g.seed)
+	if err != nil {
+		panic(err) // spec already validated
+	}
+	return ng
+}
+
+func (g *attacker) Next() Record {
+	rec := Record{Bubbles: g.spec.Bubbles}
+	if g.spec.VictimEvery > 0 && g.hits >= g.spec.VictimEvery {
+		g.hits = 0
+		// Read one of the rows between aggressors, chosen at random so
+		// every victim is sampled over time.
+		v := 2*uint64(g.rng.Intn(g.spec.Sides)) + 1
+		rec.Addr = g.base + v*uint64(g.spec.StrideBytes)
+		return rec
+	}
+	rec.Addr = g.base + 2*uint64(g.idx)*uint64(g.spec.StrideBytes)
+	g.idx = (g.idx + 1) % g.spec.Sides
+	g.hits++
+	return rec
+}
+
+// Phase is one leg of a phased workload: a synthetic spec that runs
+// for a fixed number of memory accesses before the stream moves on.
+type Phase struct {
+	Spec     Spec
+	Accesses int
+}
+
+// phased implements Generator by cycling through per-phase synthetic
+// generators (datacenter-style diurnal or batch/serve alternation).
+// Returning to a phase resumes its stream where it left off.
+type phased struct {
+	name   string
+	phases []Phase
+	seed   uint64
+	gens   []Generator
+	cur    int
+	left   int
+}
+
+// NewPhased builds a generator that cycles through the phases. Each
+// phase's sub-stream is seeded independently; clones restart the
+// identical sequence.
+func NewPhased(name string, phases []Phase, seed uint64) (Generator, error) {
+	if name == "" {
+		return nil, fmt.Errorf("trace: phased workload needs a name")
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("trace: %s: phased workload needs at least one phase", name)
+	}
+	g := &phased{name: name, phases: phases, seed: seed}
+	for i, p := range phases {
+		if p.Accesses < 1 {
+			return nil, fmt.Errorf("trace: %s: phase %d needs Accesses >= 1", name, i)
+		}
+		// Phase seeds are derived, not offset: a linear seed+i*K here
+		// would collide with sim's per-core base+core*K lattice and
+		// make core c's phase i replay core c+i's workload stream.
+		sub, err := New(p.Spec, xrand.Derive(seed, 0x9A5ED, uint64(i)).Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: phase %d: %w", name, i, err)
+		}
+		g.gens = append(g.gens, sub)
+	}
+	g.left = phases[0].Accesses
+	return g, nil
+}
+
+func (g *phased) Name() string { return g.name }
+
+func (g *phased) Clone() Generator {
+	ng, err := NewPhased(g.name, g.phases, g.seed)
+	if err != nil {
+		panic(err) // phases already validated
+	}
+	return ng
+}
+
+func (g *phased) Next() Record {
+	if g.left == 0 {
+		g.cur = (g.cur + 1) % len(g.gens)
+		g.left = g.phases[g.cur].Accesses
+	}
+	g.left--
+	return g.gens[g.cur].Next()
+}

@@ -102,6 +102,17 @@ func SpecByName(name string) (Spec, error) {
 // class (roughly LLC MPKI >= 20, i.e. bubble mean <= 50).
 func (s Spec) MemoryIntensive() bool { return s.BubbleMean <= 50 }
 
+// ParsePattern maps a pattern name ("stream", "random", "zipf",
+// "mixed") back to its AccessPattern.
+func ParsePattern(name string) (AccessPattern, error) {
+	for _, p := range []AccessPattern{PatternStream, PatternRandom, PatternZipf, PatternMixed} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown access pattern %q (have: stream random zipf mixed)", name)
+}
+
 // Mix is a multi-programmed workload: one spec per core.
 type Mix struct {
 	Name  string
@@ -130,4 +141,14 @@ func Mixes() []Mix {
 		out = append(out, mix)
 	}
 	return out
+}
+
+// MixByName finds one of the generated four-core mixes.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("trace: unknown mix %q (have mix00..mix59)", name)
 }
