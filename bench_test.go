@@ -266,6 +266,99 @@ func BenchmarkAblationFRGranularity(b *testing.B) {
 	})
 }
 
+// ---- End-to-end engine benchmarks -----------------------------------
+
+// benchmarkSimRun measures one full sim.Run shape under both engines,
+// so BENCH_sim.json records the event-horizon speedup next to the
+// per-cycle reference. The simulated cycle count is reported as a
+// metric: identical values across the two engines are the bench-side
+// echo of the parity suite.
+func benchmarkSimRun(b *testing.B, build func() sim.Options) {
+	for _, engine := range []string{sim.EngineEventHorizon, sim.EnginePerCycle} {
+		b.Run(engine, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				opt := build()
+				opt.Engine = engine
+				res, err := sim.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "simCycles")
+		})
+	}
+}
+
+// BenchmarkSimRun holds the end-to-end engine benches: an idle-heavy
+// periodic-refresh shape, the adversarial hammer-beside-victims shape,
+// and a reduced Fig. 17 cell. CI regenerates BENCH_sim.json from these
+// and fails on >20% regression against the committed baseline.
+func BenchmarkSimRun(b *testing.B) {
+	b.Run("fig17-small", func(b *testing.B) {
+		mix := trace.Mixes()[0]
+		benchmarkSimRun(b, func() sim.Options {
+			opt := sim.DefaultOptions(mix.Specs[:]...)
+			opt.MemCfg = sim.SmallMemConfig()
+			opt.Instructions = 12_000
+			opt.Warmup = 1_200
+			opt.Mitigation = "RFM"
+			opt.NRH = 256
+			return opt
+		})
+	})
+	b.Run("refresh-stress", func(b *testing.B) {
+		spec, err := trace.SpecByName("429.mcf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchmarkSimRun(b, func() sim.Options {
+			opt := sim.DefaultOptions(spec)
+			opt.MemCfg = sim.SmallMemConfig()
+			// tRFC at the catalog's future-density ceiling: long refresh
+			// stalls dominate, the worst case for per-cycle polling.
+			opt.MemCfg.Timing = opt.MemCfg.Timing.ScaleTRFC(4.42)
+			opt.Instructions = 20_000
+			opt.Warmup = 2_000
+			return opt
+		})
+	})
+	b.Run("hammer-victim", func(b *testing.B) {
+		victims := []string{"ycsb-a", "483.xalancbmk", "456.hmmer"}
+		benchmarkSimRun(b, func() sim.Options {
+			opt := sim.DefaultOptions()
+			opt.MemCfg = sim.SmallMemConfig()
+			opt.Instructions = 8_000
+			opt.Warmup = 800
+			// A many-sided (TRRespass-class) hammer at the future-chip
+			// threshold the catalog sweeps to: the tracker's preventive
+			// refreshes stall the hammered bank for hundreds of cycles
+			// at a time, which is what makes the shape idle-heavy.
+			opt.Mitigation = "Graphene"
+			opt.NRH = 8
+			hammer, err := trace.NewAttacker(trace.AttackSpec{Sides: 16, VictimEvery: 2},
+				sim.WorkloadSeed(opt.Seed, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.Generators = []trace.Generator{hammer}
+			for i, name := range victims {
+				spec, err := trace.SpecByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := trace.New(spec, sim.WorkloadSeed(opt.Seed, i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.Generators = append(opt.Generators, gen)
+			}
+			return opt
+		})
+	})
+}
+
 // BenchmarkControllerThroughput measures raw simulator speed
 // (cycles/sec) to document the cost of the cycle-level model.
 func BenchmarkControllerThroughput(b *testing.B) {

@@ -17,6 +17,13 @@
 //	     "iterations": 21298110, "nsPerOp": 56.19}
 //	  ]
 //	}
+//
+// With -compare BASELINE.json the parsed results are additionally
+// checked against a previously committed report: any benchmark whose
+// ns/op regressed by more than -tolerance (default 0.20 = 20%) fails
+// the run with exit status 1 — the CI regression gate. Names are
+// matched with the trailing -GOMAXPROCS suffix stripped, so reports
+// from machines with different core counts compare cleanly.
 package main
 
 import (
@@ -47,6 +54,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to diff against; regressions fail the run")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed ns/op regression vs the baseline (fraction)")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
@@ -66,12 +75,69 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		baseData, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		regressions := diff(report, &base, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *compare)
+	}
+}
+
+// trimProcs strips the trailing -GOMAXPROCS suffix from a benchmark
+// name so reports from different machines compare by shape.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diff returns a description of every benchmark in cur whose ns/op
+// exceeds its baseline counterpart by more than the tolerance, plus
+// every baseline benchmark missing from cur — a bench that silently
+// stopped running must not read as "no regressions". Benchmarks
+// absent from the baseline pass (new benches must not fail the gate
+// that predates them).
+func diff(cur, base *Report, tolerance float64) []string {
+	current := make(map[string]float64, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[trimProcs(b.Name)] = b.NsPerOp
+	}
+	var out []string
+	for _, b := range base.Benchmarks {
+		name := trimProcs(b.Name)
+		got, ok := current[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			continue
+		}
+		if b.NsPerOp > 0 && got > b.NsPerOp*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, got, b.NsPerOp, 100*(got/b.NsPerOp-1), tolerance*100))
+		}
+	}
+	return out
 }
 
 // parse reads `go test -bench` text output. Benchmark lines look like

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pacram
+BenchmarkSimRun/fig17-small/event-horizon-8   	 100	 4000000 ns/op	 41453 simCycles
+BenchmarkSimRun/fig17-small/per-cycle-8       	  80	 6000000 ns/op	 41453 simCycles
+PASS
+`
+
+func parseSample(t *testing.T, text string) *Report {
+	t.Helper()
+	r, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParse(t *testing.T) {
+	r := parseSample(t, sample)
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "pacram" {
+		t.Fatalf("header: %+v", r)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkSimRun/fig17-small/event-horizon-8" ||
+		b.Iterations != 100 || b.NsPerOp != 4e6 || b.Metrics["simCycles"] != 41453 {
+		t.Fatalf("benchmark 0: %+v", b)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo-16":         "BenchmarkFoo",
+		"BenchmarkFoo/sub-case-4": "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/sub-case":   "BenchmarkFoo/sub-case",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := parseSample(t, sample)
+	// Same numbers measured on a different core count: no regression.
+	cur := parseSample(t, strings.ReplaceAll(sample, "-8 ", "-4 "))
+	if regs := diff(cur, base, 0.20); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// 50% slower event-horizon engine: gate trips for that bench only.
+	slow := parseSample(t, strings.Replace(sample, " 4000000 ns/op", " 6000000 ns/op", 1))
+	regs := diff(slow, base, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "event-horizon") {
+		t.Fatalf("want one event-horizon regression, got %v", regs)
+	}
+	// A brand-new benchmark without a baseline entry passes.
+	extra := parseSample(t, sample+"BenchmarkNew-8  10  1 ns/op\n")
+	if regs := diff(extra, base, 0.20); len(regs) != 0 {
+		t.Fatalf("new benchmark tripped the gate: %v", regs)
+	}
+	// A baseline benchmark that vanished from the run fails the gate.
+	partial := parseSample(t, strings.SplitAfter(sample, "simCycles\n")[0])
+	regs = diff(partial, base, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing from this run") {
+		t.Fatalf("want one missing-benchmark failure, got %v", regs)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"pacram/internal/exp"
@@ -68,10 +69,11 @@ func usage() {
   scenario run [flags] <name|file>  run built-in scenarios or spec files
 
 run flags:
-  -parallel N   worker pool size (0 = all CPUs); results identical at any value
-  -cache DIR    persist per-cell results; re-runs skip finished cells
-  -csv DIR      also write per-scenario CSV files
-  -quiet        suppress progress/ETA output on stderr
+  -parallel N      worker pool size (0 = all CPUs); results identical at any value
+  -cache DIR       persist per-cell results; re-runs skip finished cells
+  -csv DIR         also write per-scenario CSV files
+  -quiet           suppress progress/ETA output on stderr
+  -cpuprofile FILE write a CPU profile (go tool pprof)
 `)
 }
 
@@ -131,6 +133,7 @@ func run(args []string) error {
 		cacheDir = fs.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
 		csvDir   = fs.String("csv", "", "directory to write per-scenario CSV files")
 		quiet    = fs.Bool("quiet", false, "suppress progress/ETA output on stderr")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	// Accept flags before or after the scenario names.
 	var names []string
@@ -148,6 +151,18 @@ func run(args []string) error {
 	}
 	if len(names) == 0 {
 		return fmt.Errorf("run: need a built-in scenario name or spec file (see 'scenario list')")
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var progress io.Writer

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -29,6 +30,15 @@ import (
 var experiments = []string{"fig3", "fig16", "fig17", "fig18", "fig19", "area", "run", "takeaways"}
 
 func main() {
+	// All work happens in realMain so its defers — above all the CPU
+	// profile flush — also run on error paths; os.Exit would skip them.
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	var (
 		expFlag   = flag.String("exp", "fig3", "experiment id, comma-separated list, or 'all': "+strings.Join(experiments, " "))
 		insts     = flag.Uint64("insts", 60_000, "instructions per core (paper: 100M)")
@@ -43,8 +53,21 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
 		cacheDir  = flag.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
 		quiet     = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var progress io.Writer
 	if !*quiet {
@@ -68,9 +91,8 @@ func main() {
 		// deep inside sim.Run, after minutes of valid cells.
 		for _, m := range opt.Mitigations {
 			if !mitigation.Known(m) {
-				fmt.Fprintf(os.Stderr, "simulate: unknown mitigation %q (valid: %s, None)\n",
+				return fmt.Errorf("unknown mitigation %q (valid: %s, None)",
 					m, strings.Join(mitigation.AllNames(), ", "))
-				os.Exit(1)
 			}
 		}
 	}
@@ -78,18 +100,13 @@ func main() {
 	for _, s := range strings.Split(*nrhs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "simulate: bad NRH %q\n", s)
-			os.Exit(1)
+			return fmt.Errorf("bad NRH %q", s)
 		}
 		opt.NRHs = append(opt.NRHs, v)
 	}
 
 	if *traceFile != "" {
-		if err := runTraceFile(*traceFile, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		return runTraceFile(*traceFile, opt)
 	}
 
 	ids := strings.Split(*expFlag, ",")
@@ -99,20 +116,18 @@ func main() {
 	for _, id := range ids {
 		tbl, err := runExperiment(strings.TrimSpace(id), opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "simulate: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", id, err)
 		}
 		if err := tbl.Fprint(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, tbl); err != nil {
-				fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
+	return nil
 }
 
 func runExperiment(id string, opt exp.SysOptions) (*exp.Table, error) {

@@ -6,7 +6,11 @@
 // controller's write queue without blocking.
 package cpu
 
-import "pacram/internal/trace"
+import (
+	"math"
+
+	"pacram/internal/trace"
+)
 
 // Defaults from the paper's Table 2.
 const (
@@ -22,6 +26,16 @@ type MemoryPort interface {
 	Issue(addr uint64, write bool, done func()) bool
 }
 
+// QueueProbe is optionally implemented by a MemoryPort (the memory
+// controller implements it). It lets NextEvent distinguish "the memory
+// system would accept the pending request" from "queue full" without
+// side effects. Ports that do not implement it make the core report
+// itself always runnable, which is safe — the simulation loop then
+// simply never leaps on this core's behalf.
+type QueueProbe interface {
+	CanAccept(write bool) bool
+}
+
 // slot is one instruction-window entry.
 type slot struct {
 	done bool
@@ -32,6 +46,7 @@ type Core struct {
 	id     int
 	gen    trace.Generator
 	mem    MemoryPort
+	probe  QueueProbe // mem, when it supports occupancy probing
 	window []slot
 	head   int
 	count  int
@@ -39,7 +54,6 @@ type Core struct {
 	// pending is the stalled front of the trace: bubbles left to
 	// insert, then possibly a memory access not yet accepted.
 	bubblesLeft int
-	memPending  bool
 	memRec      trace.Record
 	havePending bool
 
@@ -48,6 +62,7 @@ type Core struct {
 	retired  uint64
 	cycles   uint64
 	loadsOut int
+	progress uint64 // bumped whenever Tick retires or dispatches
 
 	// stats
 	Loads, Stores uint64
@@ -55,10 +70,12 @@ type Core struct {
 
 // New builds a core replaying gen through mem.
 func New(id int, gen trace.Generator, mem MemoryPort) *Core {
+	probe, _ := mem.(QueueProbe)
 	return &Core{
 		id:     id,
 		gen:    gen,
 		mem:    mem,
+		probe:  probe,
 		window: make([]slot, DefaultWindowSize),
 		width:  DefaultWidth,
 	}
@@ -98,6 +115,7 @@ func (c *Core) Tick() {
 		c.head = (c.head + 1) % len(c.window)
 		c.count--
 		c.retired++
+		c.progress++
 	}
 
 	// Dispatch.
@@ -118,7 +136,6 @@ func (c *Core) Tick() {
 				break // write queue full; retry next cycle
 			}
 			c.Stores++
-			c.memPending = false
 			c.havePending = false
 			c.push(true)
 			continue
@@ -138,8 +155,50 @@ func (c *Core) Tick() {
 		c.count++
 		c.Loads++
 		c.loadsOut++
-		c.memPending = false
+		c.progress++
 		c.havePending = false
+	}
+}
+
+// Progress returns a monotonic counter of retired and dispatched
+// instructions. Two equal readings around a Tick prove the tick was a
+// stall (only the cycle counter moved) — the observable behind the
+// NextEvent soundness test, mirroring Controller.Events on the memory
+// side.
+func (c *Core) Progress() uint64 { return c.progress }
+
+// NextEvent reports the core's event horizon in the shared engine
+// clock: 0 when the very next Tick can retire or dispatch something
+// ("runnable now"), math.MaxUint64 while the core is provably stalled
+// — in-order retire blocked on an outstanding load, and dispatch
+// blocked on a full window or a full memory queue. A stalled core is
+// only woken by memory-controller progress (a read completion marking
+// the window head done, or a queue slot freeing), so the simulation
+// loop may safely leap to the controller's own horizon while every
+// core reports MaxUint64.
+func (c *Core) NextEvent() uint64 {
+	if c.count > 0 && c.window[c.head].done {
+		return 0 // retire can proceed
+	}
+	if c.count < len(c.window) {
+		if !c.havePending || c.bubblesLeft > 0 {
+			return 0 // a bubble (or a fresh trace record) can dispatch
+		}
+		if c.probe == nil || c.probe.CanAccept(c.memRec.Write) {
+			return 0 // the pending memory access would be accepted
+		}
+	}
+	return math.MaxUint64
+}
+
+// AdvanceTo fast-forwards the core's cycle counter to the engine
+// cycle reached by a leap. The caller must have proven — via NextEvent
+// on every component — that each skipped Tick would have been a stall,
+// so only the clock needs to move. Cycles at or before the current
+// counter are ignored.
+func (c *Core) AdvanceTo(cycle uint64) {
+	if cycle > c.cycles {
+		c.cycles = cycle
 	}
 }
 
@@ -151,7 +210,6 @@ func (c *Core) refillPending() bool {
 	rec := c.gen.Next()
 	c.memRec = rec
 	c.bubblesLeft = rec.Bubbles
-	c.memPending = true
 	c.havePending = true
 	return true
 }
@@ -161,4 +219,5 @@ func (c *Core) push(done bool) {
 	idx := (c.head + c.count) % len(c.window)
 	c.window[idx] = slot{done: done}
 	c.count++
+	c.progress++
 }

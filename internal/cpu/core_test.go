@@ -177,3 +177,59 @@ func BenchmarkCoreTick(b *testing.B) {
 		mem.tick()
 	}
 }
+
+// probedMem is fakeMem plus the QueueProbe surface the controller
+// provides: CanAccept mirrors Issue's admission check exactly.
+type probedMem struct{ fakeMem }
+
+func (m *probedMem) CanAccept(write bool) bool { return !m.full }
+
+// TestNextEventSoundness is the core-side half of the event-horizon
+// contract (the controller's half lives in memsys): whenever NextEvent
+// reports the core stalled, the next Tick must change nothing but the
+// cycle counter — Progress is the observable — so the simulation loop
+// may skip the tick entirely and leap.
+func TestNextEventSoundness(t *testing.T) {
+	g := gen(t, trace.Spec{Name: "m", BubbleMean: 2, Pattern: trace.PatternRandom, FootprintMB: 16})
+	mem := &probedMem{fakeMem{latency: 40}}
+	c := New(0, g, mem)
+
+	stalled, runnable := 0, 0
+	for i := 0; i < 30_000; i++ {
+		// Stretches of full queues and of long-latency completions.
+		mem.full = i%1000 >= 700
+		ne := c.NextEvent()
+		if ne != 0 && ne != ^uint64(0) {
+			t.Fatalf("NextEvent returned %d; want 0 (runnable) or MaxUint64 (stalled)", ne)
+		}
+		before, retired := c.Progress(), c.Retired()
+		c.Tick()
+		if ne != 0 {
+			stalled++
+			if c.Progress() != before || c.Retired() != retired {
+				t.Fatalf("tick %d: NextEvent promised a stall but the core progressed", i)
+			}
+		} else {
+			runnable++
+		}
+		mem.tick()
+	}
+	if stalled == 0 || runnable == 0 {
+		t.Fatalf("degenerate run: %d stalled, %d runnable ticks", stalled, runnable)
+	}
+}
+
+// TestNextEventWithoutProbe: a port that cannot report queue occupancy
+// makes the core always runnable — the safe default that simply never
+// leaps on the core's behalf.
+func TestNextEventWithoutProbe(t *testing.T) {
+	g := gen(t, trace.Spec{Name: "p", BubbleMean: 0, Pattern: trace.PatternRandom, FootprintMB: 16})
+	mem := &fakeMem{latency: 1 << 30, full: true} // nothing ever completes or enqueues
+	c := New(0, g, mem)
+	for i := 0; i < 200; i++ {
+		if ne := c.NextEvent(); ne != 0 {
+			t.Fatalf("probeless port must report runnable, got %d", ne)
+		}
+		c.Tick()
+	}
+}

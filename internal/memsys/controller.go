@@ -81,6 +81,14 @@ type Controller struct {
 
 	draining bool
 
+	// events counts state changes (commands issued, completions fired,
+	// refresh transitions). Two equal readings around a Tick prove the
+	// tick was pure clock advance; see Events.
+	events uint64
+
+	// scratch is NextEvent's reusable per-bank dedup bitmap.
+	scratch []bool
+
 	// cached cycle conversions
 	cRCD, cRP, cRAS, cCL, cCWL, cBL, cCCD, cRRD, cFAW, cWR, cRTP, cWTR uint64
 	cRFC, cREFI, cRFM                                                  uint64
@@ -180,9 +188,9 @@ func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 		if len(c.writeQ) >= c.cfg.WriteQueue {
 			return false
 		}
-		c.writeQ = append(c.writeQ, &Request{
-			Addr: c.mapper.Decode(addr), Line: line, Write: true, Arrival: c.cycle,
-		})
+		req := &Request{Addr: c.mapper.Decode(addr), Line: line, Write: true, Arrival: c.cycle}
+		c.indexRequest(req)
+		c.writeQ = append(c.writeQ, req)
 		return true
 	}
 	if len(c.readQ) >= c.cfg.ReadQueue {
@@ -198,10 +206,17 @@ func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 			return true
 		}
 	}
-	c.readQ = append(c.readQ, &Request{
-		Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle,
-	})
+	req := &Request{Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle}
+	c.indexRequest(req)
+	c.readQ = append(c.readQ, req)
 	return true
+}
+
+// indexRequest fills the request's cached bank indices.
+func (c *Controller) indexRequest(req *Request) {
+	g := c.cfg.Geometry
+	req.bank = g.FlatBank(req.Addr)
+	req.group = (req.Addr.Channel*g.Ranks+req.Addr.Rank)*g.BankGroups + req.Addr.BankGroup
 }
 
 // QueueMeta injects mitigation metadata traffic (Hydra's RCT).
@@ -211,12 +226,16 @@ func (c *Controller) queueMeta(bankFlat int, reads, writes int) {
 	a.Row = geo.Rows - 1 // metadata region: last row of the bank
 	for i := 0; i < reads && len(c.readQ) < c.cfg.ReadQueue; i++ {
 		a.Column = (int(c.stats.MetaReads) + i) % geo.Columns
-		c.readQ = append(c.readQ, &Request{Addr: a, Write: false, Arrival: c.cycle, Meta: true})
+		req := &Request{Addr: a, Write: false, Arrival: c.cycle, Meta: true}
+		c.indexRequest(req)
+		c.readQ = append(c.readQ, req)
 		c.stats.MetaReads++
 	}
 	for i := 0; i < writes && len(c.writeQ) < c.cfg.WriteQueue; i++ {
 		a.Column = (int(c.stats.MetaWrites) + i) % geo.Columns
-		c.writeQ = append(c.writeQ, &Request{Addr: a, Write: true, Arrival: c.cycle, Meta: true})
+		req := &Request{Addr: a, Write: true, Arrival: c.cycle, Meta: true}
+		c.indexRequest(req)
+		c.writeQ = append(c.writeQ, req)
 		c.stats.MetaWrites++
 	}
 }
@@ -229,16 +248,18 @@ func (c *Controller) PendingReads() int { return len(c.readQ) }
 func (c *Controller) Tick() {
 	c.cycle++
 	c.stats.Cycles = c.cycle
-	c.completions.runDue(c.cycle)
+	c.events += uint64(c.completions.runDue(c.cycle))
 
 	if c.cycle >= c.nextRefWindow {
 		c.mitig.OnRefreshWindow()
 		c.nextRefWindow += c.refWindowCycles
+		c.events++
 	}
 	if c.cfg.RefreshEnabled {
 		for r := range c.ranks {
-			if c.cycle >= c.ranks[r].nextRefAt {
+			if c.cycle >= c.ranks[r].nextRefAt && !c.ranks[r].refPending {
 				c.ranks[r].refPending = true
+				c.events++
 			}
 		}
 	}
@@ -304,6 +325,7 @@ func (c *Controller) tryRefresh() bool {
 		c.stats.Refs++
 		c.stats.RefBusy += dur * uint64(c.cfg.Geometry.Banks())
 		c.stats.RefRestoreNs += c.cfg.Timing.TRFC * scale
+		c.events++
 		return true
 	}
 	return false
@@ -351,6 +373,7 @@ func (c *Controller) tryRFM() bool {
 		c.stats.PrevRefBusy += dur
 		c.stats.VRRs += uint64(len(rows))
 		c.rfmQ = append(c.rfmQ[:i], c.rfmQ[i+1:]...)
+		c.events++
 		return true
 	}
 	return false
@@ -384,6 +407,7 @@ func (c *Controller) tryVRR() bool {
 			c.audit(req.bank, req.row, true)
 		}
 		c.vrrQ = append(c.vrrQ[:i], c.vrrQ[i+1:]...)
+		c.events++
 		return true
 	}
 	return false
@@ -475,9 +499,7 @@ func (c *Controller) firstReadyColumn(q []*Request) (int, int) {
 	return -1, -1
 }
 
-func (c *Controller) bankFor(req *Request) int {
-	return c.cfg.Geometry.FlatBank(req.Addr)
-}
+func (c *Controller) bankFor(req *Request) int { return req.bank }
 
 func (c *Controller) canColumn(req *Request, bk *bank, write bool) bool {
 	if !bk.free(c.cycle) {
@@ -493,10 +515,7 @@ func (c *Controller) canColumn(req *Request, bk *bank, write bool) bool {
 }
 
 // bankGroupOf returns the dense bank-group index of a request.
-func (c *Controller) bankGroupOf(req *Request) int {
-	g := c.cfg.Geometry
-	return (req.Addr.Channel*g.Ranks+req.Addr.Rank)*g.BankGroups + req.Addr.BankGroup
-}
+func (c *Controller) bankGroupOf(req *Request) int { return req.group }
 
 // issueACT opens a row and notifies the mitigation mechanism. ACTs on
 // behalf of mitigation metadata (meta=true) still disturb neighbours
@@ -505,6 +524,7 @@ func (c *Controller) bankGroupOf(req *Request) int {
 // reserved rows they do not monitor, and the feedback loop would
 // otherwise be unbounded.
 func (c *Controller) issueACT(b, row int, meta bool) {
+	c.events++
 	bk := &c.banks[b]
 	bk.openRow = row
 	bk.lastAggressor = row
@@ -537,6 +557,7 @@ func (c *Controller) issueACT(b, row int, meta bool) {
 
 // issuePRE closes the open row of bank b.
 func (c *Controller) issuePRE(b int) {
+	c.events++
 	bk := &c.banks[b]
 	bk.openRow = -1
 	bk.actReady = c.cycle + c.cRP
@@ -545,18 +566,19 @@ func (c *Controller) issuePRE(b int) {
 
 // issueColumn issues the RD/WR for (*q)[i] and removes it.
 func (c *Controller) issueColumn(i int, q *[]*Request, b int) {
+	c.events++
 	req := (*q)[i]
 	bk := &c.banks[b]
 	c.bgColReady[c.bankGroupOf(req)] = c.cycle + c.cCCD
 	if req.Write {
 		bk.wrReady = c.cycle + c.cCCD
 		bk.rdReady = c.cycle + c.cCWL + c.cBL + c.cWTR
-		bk.preReady = maxU64(bk.preReady, c.cycle+c.cCWL+c.cBL+c.cWR)
+		bk.preReady = max(bk.preReady, c.cycle+c.cCWL+c.cBL+c.cWR)
 		c.busUntil = c.cycle + c.cCWL + c.cBL
 		c.stats.Writes++
 	} else {
 		bk.rdReady = c.cycle + c.cCCD
-		bk.preReady = maxU64(bk.preReady, c.cycle+c.cRTP)
+		bk.preReady = max(bk.preReady, c.cycle+c.cRTP)
 		c.busUntil = c.cycle + c.cCL + c.cBL
 		c.stats.Reads++
 		latency := c.cycle + c.cCL + c.cBL + c.cfg.ExtraLatency
@@ -569,11 +591,4 @@ func (c *Controller) issueColumn(i int, q *[]*Request, b int) {
 		}
 	}
 	*q = append((*q)[:i], (*q)[i+1:]...)
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

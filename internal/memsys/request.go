@@ -21,6 +21,11 @@ type Request struct {
 	Done    func() // called at data return (reads); may be nil
 	Arrival uint64 // cycle the request entered the queue
 	Meta    bool   // metadata traffic (e.g. Hydra's RCT accesses)
+
+	// bank and group cache the flat bank / dense bank-group indices of
+	// Addr: the FR-FCFS scan and the event-horizon computation consult
+	// them for every queued request every cycle.
+	bank, group int
 }
 
 // completion is a scheduled callback.
@@ -48,12 +53,16 @@ func (h *completionHeap) schedule(at uint64, fn func()) {
 	heap.Push(h, completion{at: at, fn: fn})
 }
 
-// runDue fires all completions due at or before cycle.
-func (h *completionHeap) runDue(cycle uint64) {
+// runDue fires all completions due at or before cycle, returning how
+// many fired (the controller's event accounting).
+func (h *completionHeap) runDue(cycle uint64) int {
+	n := 0
 	for h.Len() > 0 && (*h)[0].at <= cycle {
 		c := heap.Pop(h).(completion)
 		c.fn()
+		n++
 	}
+	return n
 }
 
 // Stats aggregates controller activity for performance, energy and

@@ -34,8 +34,8 @@ type Hydra struct {
 func NewHydra(cfg Config) *Hydra {
 	h := &Hydra{
 		cfg:      cfg,
-		groupThr: maxInt(1, cfg.NRH/hydraGroupDiv),
-		rowThr:   maxInt(1, cfg.NRH/hydraRowDiv),
+		groupThr: max(1, cfg.NRH/hydraGroupDiv),
+		rowThr:   max(1, cfg.NRH/hydraRowDiv),
 		rcc:      make(map[int]bool, hydraRCCEntries),
 	}
 	h.reset()
@@ -108,10 +108,3 @@ func (m *Hydra) OnActivate(bank, row int) memsys.Action {
 // OnRefreshWindow implements memsys.Mitigation: all counters reset
 // each refresh window.
 func (m *Hydra) OnRefreshWindow() { m.reset() }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -88,6 +88,9 @@ func (m *Matrix[T]) Add(key string, run func(Ctx) (T, error)) {
 // Len returns the number of distinct planned jobs.
 func (m *Matrix[T]) Len() int { return len(m.jobs) }
 
+// Has reports whether a job with the given key is already planned.
+func (m *Matrix[T]) Has(key string) bool { return m.seen[key] }
+
 // Jobs returns the planned jobs in planning order.
 func (m *Matrix[T]) Jobs() []Job[T] { return m.jobs }
 

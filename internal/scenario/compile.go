@@ -115,7 +115,25 @@ type Plan struct {
 	rows     []rowPlan
 	matrix   *runner.Matrix[sim.Result]
 	groupIdx map[string]int
+	cells    []Cell
 }
+
+// Cell is one distinct simulation job of a compiled plan, addressable
+// outside the runner: the engine-parity suite uses it to run every
+// catalog cell under both simulation engines.
+type Cell struct {
+	// Key is the content-addressed job key (runner.HashKey).
+	Key   string
+	rc    *resolvedCell
+	cores []resolvedCore
+}
+
+// Options assembles a fresh sim.Options for the cell. Generator state
+// is rebuilt on every call, so one Cell can be simulated repeatedly.
+func (c Cell) Options() (sim.Options, error) { return c.rc.simOptions(c.cores) }
+
+// Cells lists the plan's distinct simulation jobs in planning order.
+func (p *Plan) Cells() []Cell { return p.cells }
 
 // Jobs returns the number of distinct simulation cells the plan runs.
 func (p *Plan) Jobs() int { return p.matrix.Len() }
@@ -268,6 +286,9 @@ func (p *Plan) addJob(rc *resolvedCell, mem resolvedMember) (string, error) {
 	}
 	cellCopy := *rc
 	cores := mem.cores
+	if !p.matrix.Has(key) {
+		p.cells = append(p.cells, Cell{Key: key, rc: &cellCopy, cores: cores})
+	}
 	p.matrix.Add(key, func(runner.Ctx) (sim.Result, error) {
 		opt, err := cellCopy.simOptions(cores)
 		if err != nil {

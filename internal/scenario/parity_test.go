@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"pacram/internal/sim"
+)
+
+// TestCatalogEngineParity runs every distinct cell of every built-in
+// scenario — the fig17 bridge included — under both simulation engines
+// at reduced scale and requires byte-identical Results. Together with
+// the workload-level suite in internal/sim this is the proof that the
+// event-horizon engine is a pure wall-clock optimization.
+func TestCatalogEngineParity(t *testing.T) {
+	specs, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells shared between scenarios (baselines above all) only need
+	// one comparison; key identity is configuration identity.
+	checked := make(map[string]bool)
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p, err := s.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Cells()) != p.Jobs() {
+				t.Fatalf("Cells() lists %d cells for %d jobs", len(p.Cells()), p.Jobs())
+			}
+			for _, cell := range p.Cells() {
+				if checked[cell.Key] {
+					continue // legitimately shared with an earlier scenario
+				}
+				checked[cell.Key] = true
+				run := func(engine string) sim.Result {
+					opt, err := cell.Options()
+					if err != nil {
+						t.Fatalf("cell %s: %v", cell.Key, err)
+					}
+					// Reduced scale: parity is a per-cycle property, so
+					// a shorter run loses no coverage, only tail length.
+					opt.Instructions = min(opt.Instructions, 2_000)
+					opt.Warmup = min(opt.Warmup, 200)
+					opt.Engine = engine
+					res, err := sim.Run(opt)
+					if err != nil {
+						t.Fatalf("cell %s (%s): %v", cell.Key, engine, err)
+					}
+					return res
+				}
+				want := run(sim.EnginePerCycle)
+				got := run(sim.EngineEventHorizon)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("cell %s: engines diverged:\nper-cycle:     %+v\nevent-horizon: %+v",
+						cell.Key, want, got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pacram/internal/cpu"
+	"pacram/internal/memsys"
+	"pacram/internal/trace"
+)
+
+// Engine names for Options.Engine.
+const (
+	// EngineEventHorizon is the default engine. It is tick-accurate —
+	// whenever any component can act, every component ticks exactly as
+	// under EnginePerCycle — but when a tick provably changed nothing,
+	// it leaps the clock to the minimum event horizon reported by the
+	// controller and the cores instead of polling the idle cycles one
+	// by one. Results are byte-identical to EnginePerCycle (enforced by
+	// the parity suite in parity_test.go).
+	EngineEventHorizon = "event-horizon"
+	// EnginePerCycle is the reference engine: every component ticks on
+	// every CPU cycle. Kept for parity testing and debugging.
+	EnginePerCycle = "per-cycle"
+)
+
+// engine advances the assembled system through simulated time.
+//
+// NextEvent on each component is the soundness contract: it returns a
+// cycle H such that every tick strictly before H is a no-op for that
+// component. H may be conservative (an early wake merely costs an
+// extra no-op tick and a recompute) but it must never be late, because
+// the cycles in (now, H) are skipped outright. A leap moves every
+// clock to H-1 and then ticks normally, so the tick that lands on H
+// runs with exactly the state and cycle number the per-cycle engine
+// would have had. Core tick rotation is derived from the controller
+// cycle, which leaps preserve, so arbitration order is also identical.
+// (Controller.Events and Core.Progress expose the matching observable:
+// a tick that changes neither counter was such a no-op; the horizon
+// soundness test in memsys builds on it.)
+type engine struct {
+	cores    []*cpu.Core
+	ctrl     *memsys.Controller
+	perCycle bool
+	runnable []bool // per-core runnability, refreshed each step
+}
+
+// step advances simulated time by at least one cycle: it classifies
+// every core via NextEvent, leaps over the provably dead cycles up to
+// the system horizon when everyone is stalled, then ticks. The leap is
+// clamped so the maxCycles overrun check still fires on the exact
+// cycle the per-cycle engine would report.
+//
+// The runnability snapshot is taken once per step. During the core
+// loop a snapshot can only go stale in the safe direction: an earlier
+// core's Issue may fill a queue and stall a later core mid-cycle, but
+// ticking a just-stalled core is exactly the failed-retry no-op the
+// per-cycle engine executes. Nothing can make a stalled core runnable
+// before the controller ticks (completions and queue drains happen
+// there), so skipped cores are provably inert.
+func (e *engine) step(maxCycles uint64) {
+	n := len(e.cores)
+	if !e.perCycle {
+		anyRunnable := false
+		for i, c := range e.cores {
+			e.runnable[i] = c.NextEvent() == 0
+			anyRunnable = anyRunnable || e.runnable[i]
+		}
+		if !anyRunnable {
+			if h := e.ctrl.NextEvent(); h > e.ctrl.Cycle()+1 {
+				limit := maxCycles
+				if limit != math.MaxUint64 {
+					limit++ // allow landing on maxCycles+1: the overrun cycle
+				}
+				if target := min(h, limit) - 1; target > e.ctrl.Cycle() {
+					for _, c := range e.cores {
+						c.AdvanceTo(target)
+					}
+					e.ctrl.AdvanceTo(target)
+				}
+			}
+		}
+	}
+	// Tick in the round-robin order the per-cycle engine uses (see
+	// Run). Cores whose NextEvent proved this tick a stall are not
+	// ticked at all — their cycle counters catch up via AdvanceTo —
+	// which skips the blocked-core retry polling that dominates
+	// saturated workloads.
+	cyc := e.ctrl.Cycle()
+	start := int(cyc % uint64(n))
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		c := e.cores[idx]
+		if !e.perCycle {
+			if !e.runnable[idx] {
+				// The stall replaces the Tick, so the cycle counter
+				// still advances: Core.Cycles()/IPC() stay identical
+				// across engines, not just Result.
+				c.AdvanceTo(cyc + 1)
+				continue
+			}
+			c.AdvanceTo(cyc)
+		}
+		c.Tick()
+	}
+	e.ctrl.Tick()
+}
+
+// stallError reports which core is stuck when the cycle budget runs
+// out, naming its generator and progress. base holds each core's
+// retired count at measurement start (nil during warmup); budget is
+// the per-core instruction target.
+func (e *engine) stallError(phase string, gens []trace.Generator, base []uint64, budget, maxCycles uint64) error {
+	worst := -1
+	var worstDone uint64
+	for i, c := range e.cores {
+		done := c.Retired()
+		if base != nil {
+			done -= base[i]
+		}
+		if done >= budget {
+			continue
+		}
+		if worst == -1 || done < worstDone {
+			worst, worstDone = i, done
+		}
+	}
+	if worst == -1 {
+		// Unreachable: the budget check found an unfinished core.
+		return fmt.Errorf("sim: %s exceeded %d cycles", phase, maxCycles)
+	}
+	return fmt.Errorf("sim: %s: core %d (%s) stalled at %d/%d instructions after %d cycles",
+		phase, worst, gens[worst].Name(), worstDone, budget, maxCycles)
+}

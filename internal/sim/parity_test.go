@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacram/internal/chips"
+	pacram "pacram/internal/core"
+	"pacram/internal/ddr"
+	"pacram/internal/trace"
+)
+
+// runBoth executes the same configuration under the per-cycle and the
+// event-horizon engines and requires byte-identical Results. Options
+// must carry Workloads (not Generators) or be rebuilt by the caller —
+// generators are stateful, so each engine run needs a fresh set.
+func runBoth(t *testing.T, name string, build func() Options) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		ref := build()
+		ref.Engine = EnginePerCycle
+		want, err := Run(ref)
+		if err != nil {
+			t.Fatalf("per-cycle engine: %v", err)
+		}
+		ev := build()
+		ev.Engine = EngineEventHorizon
+		got, err := Run(ev)
+		if err != nil {
+			t.Fatalf("event-horizon engine: %v", err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("engines diverged:\nper-cycle:     %+v\nevent-horizon: %+v", want, got)
+		}
+	})
+}
+
+func parityOpts(t *testing.T, workloads ...string) func() Options {
+	t.Helper()
+	specs := make([]trace.Spec, len(workloads))
+	for i, w := range workloads {
+		s, err := trace.SpecByName(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	return func() Options {
+		opt := DefaultOptions(specs...)
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		return opt
+	}
+}
+
+// TestEngineParitySynthetic covers the synthetic catalog: single-core
+// memory-bound and compute-bound workloads, a four-core mix, every
+// mechanism, PaCRAM operating points, and refresh-off / tRFC-scaled
+// memory — the state-space corners of the controller's horizon logic.
+func TestEngineParitySynthetic(t *testing.T) {
+	runBoth(t, "baseline-lbm", parityOpts(t, "470.lbm"))
+	runBoth(t, "compute-povray", parityOpts(t, "453.povray"))
+
+	mix := trace.Mixes()[0]
+	names := make([]string, len(mix.Specs))
+	for i := range mix.Specs {
+		names[i] = mix.Specs[i].Name
+	}
+	runBoth(t, "mix-4core", parityOpts(t, names...))
+
+	for _, mech := range []string{"PARA", "RFM", "PRAC", "Hydra", "Graphene"} {
+		base := parityOpts(t, "429.mcf")
+		runBoth(t, "mitigation-"+mech, func() Options {
+			opt := base()
+			opt.Mitigation = mech
+			opt.NRH = 64
+			return opt
+		})
+	}
+
+	mod, err := chips.ByID("H5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := pacram.Derive(mod, 4, 64, ddr.DDR5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := parityOpts(t, "429.mcf")
+	runBoth(t, "pacram-rfm", func() Options {
+		opt := base()
+		opt.Mitigation = "RFM"
+		opt.NRH = 64
+		opt.PaCRAM = &cfg
+		return opt
+	})
+	runBoth(t, "pacram-periodic-extension", func() Options {
+		opt := base()
+		opt.Mitigation = "PARA"
+		opt.NRH = 64
+		opt.PaCRAM = &cfg
+		opt.PeriodicExtension = true
+		return opt
+	})
+
+	runBoth(t, "refresh-off", func() Options {
+		opt := base()
+		opt.MemCfg.RefreshEnabled = false
+		return opt
+	})
+	runBoth(t, "trfc-scaled", func() Options {
+		opt := base()
+		opt.MemCfg.Timing = opt.MemCfg.Timing.ScaleTRFC(4.42)
+		return opt
+	})
+}
+
+// TestEngineParityAdversarial covers the attacker and phased
+// generators: queue-saturating same-bank hammers beside victims, and
+// phase-switching streams — the workloads that exercise rotation
+// arbitration and full-queue stalls hardest.
+func TestEngineParityAdversarial(t *testing.T) {
+	attackerGen := func(seed uint64, spec trace.AttackSpec) trace.Generator {
+		g, err := trace.NewAttacker(spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	specGen := func(t *testing.T, name string, seed uint64) trace.Generator {
+		s, err := trace.SpecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := trace.New(s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	runBoth(t, "hammer-solo", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		opt.Mitigation = "PARA"
+		opt.NRH = 64
+		opt.Generators = []trace.Generator{
+			attackerGen(WorkloadSeed(opt.Seed, 0), trace.AttackSpec{Sides: 2, VictimEvery: 64}),
+		}
+		return opt
+	})
+
+	runBoth(t, "hammer-victims", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 6_000
+		opt.Warmup = 600
+		opt.Mitigation = "Graphene"
+		opt.NRH = 128
+		opt.Generators = []trace.Generator{
+			attackerGen(WorkloadSeed(opt.Seed, 0), trace.AttackSpec{Sides: 4, VictimEvery: 32}),
+			specGen(t, "ycsb-a", WorkloadSeed(opt.Seed, 1)),
+			specGen(t, "456.hmmer", WorkloadSeed(opt.Seed, 2)),
+		}
+		return opt
+	})
+
+	runBoth(t, "phased", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		serve, err := trace.SpecByName("ycsb-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := trace.SpecByName("470.lbm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := trace.NewPhased("diurnal", []trace.Phase{
+			{Spec: serve, Accesses: 500},
+			{Spec: batch, Accesses: 500},
+		}, WorkloadSeed(opt.Seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Generators = []trace.Generator{g}
+		return opt
+	})
+
+	runBoth(t, "replay", func() Options {
+		src, err := trace.SpecByName("470.lbm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := trace.New(src, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := trace.Capture(syn, 4000)
+		replay, err := trace.NewReplay("lbm-file", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Generators = []trace.Generator{replay}
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		return opt
+	})
+}
+
+// TestEngineParityStallError verifies the engines also agree on the
+// failure path: same error, naming the actually-stalled core.
+func TestEngineParityStallError(t *testing.T) {
+	build := parityOpts(t, "429.mcf", "453.povray")
+	var msgs [2]string
+	for i, engine := range []string{EnginePerCycle, EngineEventHorizon} {
+		opt := build()
+		opt.MaxCycles = 2_000 // far below what the budget needs
+		opt.Engine = engine
+		_, err := Run(opt)
+		if err == nil {
+			t.Fatalf("%s: expected a stall error", engine)
+		}
+		msgs[i] = err.Error()
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("stall errors diverged:\nper-cycle:     %s\nevent-horizon: %s", msgs[0], msgs[1])
+	}
+	// The memory-bound core (429.mcf on core 0) is the straggler.
+	if want := "core 0 (429.mcf)"; !strings.Contains(msgs[0], want) {
+		t.Errorf("stall error %q does not name the stalled core %q", msgs[0], want)
+	}
+}

@@ -3,6 +3,32 @@
 // a RowHammer mitigation mechanism, and optionally PaCRAM reducing the
 // mechanism's preventive-refresh latency. It is the engine behind
 // Figs. 3 and 16-19.
+//
+// # Time advancement: the event-horizon contract
+//
+// Run drives the system with an event-horizon engine by default
+// (Options.Engine): components tick cycle by cycle while anyone can
+// act, and when a tick provably changes nothing the clock leaps to the
+// minimum of the component horizons. The contract the components
+// honor:
+//
+//   - NextEvent (memsys.Controller, cpu.Core) returns a cycle H such
+//     that every tick strictly before H is a no-op for that component.
+//     H may be conservative (an early wake merely costs a recompute)
+//     but never late. While a component is idle its reported horizon
+//     can only grow or stay put — no gating deadline moves without a
+//     state change, so a computed leap target cannot be invalidated
+//     mid-leap by the component itself; only an external event (a core
+//     issuing a request) can shorten it, and the engine recomputes
+//     horizons after every tick in which anything happened.
+//   - AdvanceTo jumps a component's clock without modeling the skipped
+//     cycles. It is exact, not approximate, because every busy-time
+//     statistic (DemandBusy, RefBusy, PrevRefBusy) is accumulated as
+//     an interval when its command issues, never by per-cycle polling.
+//
+// Under this contract the two engines are byte-identical — same
+// Result, same Stats, same Energy, bit for bit — which parity_test.go
+// enforces over every catalog scenario and the adversarial workloads.
 package sim
 
 import (
@@ -47,6 +73,10 @@ type Options struct {
 	// MaxCycles bounds runaway simulations (0 = 400x instructions).
 	MaxCycles uint64
 	Seed      uint64
+	// Engine selects the time-advancement strategy: EngineEventHorizon
+	// ("" = default) or EnginePerCycle. Both produce byte-identical
+	// results; the per-cycle loop exists for parity testing.
+	Engine string
 }
 
 // DefaultOptions returns a fast, paper-shaped configuration for the
@@ -98,6 +128,15 @@ func Run(opt Options) (Result, error) {
 	}
 	if opt.Instructions == 0 {
 		return Result{}, fmt.Errorf("sim: zero instruction budget")
+	}
+	perCycle := false
+	switch opt.Engine {
+	case "", EngineEventHorizon:
+	case EnginePerCycle:
+		perCycle = true
+	default:
+		return Result{}, fmt.Errorf("sim: unknown engine %q (have: %s, %s)",
+			opt.Engine, EngineEventHorizon, EnginePerCycle)
 	}
 
 	nrh := opt.NRH
@@ -161,21 +200,16 @@ func Run(opt Options) (Result, error) {
 	// slot to the lowest-numbered bandwidth hog (an adversarial
 	// hammer core can starve later cores indefinitely). Rotating who
 	// issues first each cycle models the per-requestor arbiter real
-	// controllers place in front of the queue.
-	tick := func() {
-		n := len(cores)
-		start := int(ctrl.Cycle() % uint64(n))
-		for i := 0; i < n; i++ {
-			cores[(start+i)%n].Tick()
-		}
-		ctrl.Tick()
-	}
+	// controllers place in front of the queue. The rotation is derived
+	// from the controller cycle, which event-horizon leaps preserve,
+	// so both engines arbitrate identically (see engine.go).
+	eng := &engine{cores: cores, ctrl: ctrl, perCycle: perCycle, runnable: make([]bool, len(cores))}
 
 	// Warmup.
 	for !allRetired(cores, opt.Warmup) {
-		tick()
+		eng.step(maxCycles)
 		if ctrl.Cycle() > maxCycles {
-			return Result{}, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
+			return Result{}, eng.stallError("warmup", gens, nil, opt.Warmup, maxCycles)
 		}
 	}
 	baseStats := ctrl.Stats()
@@ -202,9 +236,9 @@ func Run(opt Options) (Result, error) {
 		if done {
 			break
 		}
-		tick()
+		eng.step(maxCycles)
 		if ctrl.Cycle() > maxCycles {
-			return Result{}, fmt.Errorf("sim: %s exceeded %d cycles", gens[0].Name(), maxCycles)
+			return Result{}, eng.stallError("measurement", gens, baseRetired, opt.Instructions, maxCycles)
 		}
 	}
 
