@@ -324,6 +324,24 @@ func BenchmarkSimRun(b *testing.B) {
 			return opt
 		})
 	})
+	// The same mix and mitigation as fig17-small on a 2-channel system:
+	// the simCycles metric drops versus the single-channel case (the
+	// second channel's bandwidth retires the budget sooner), which is
+	// the scaling check — multi-channel must make the simulated system
+	// faster, not the simulator slower.
+	b.Run("dual-channel-mix", func(b *testing.B) {
+		mix := trace.Mixes()[0]
+		benchmarkSimRun(b, func() sim.Options {
+			opt := sim.DefaultOptions(mix.Specs[:]...)
+			opt.MemCfg = sim.SmallMemConfig()
+			opt.MemCfg.Geometry.Channels = 2
+			opt.Instructions = 12_000
+			opt.Warmup = 1_200
+			opt.Mitigation = "RFM"
+			opt.NRH = 256
+			return opt
+		})
+	})
 	b.Run("hammer-victim", func(b *testing.B) {
 		victims := []string{"ycsb-a", "483.xalancbmk", "456.hmmer"}
 		benchmarkSimRun(b, func() sim.Options {

@@ -47,6 +47,8 @@ func realMain() error {
 		mixes     = flag.Int("mixes", 3, "number of 4-core mixes (paper: 60)")
 		workloads = flag.String("workloads", "", "comma-separated single-core workloads (default: representative six)")
 		mechs     = flag.String("mitigations", "", "comma-separated mechanisms (default: all five)")
+		channels  = flag.Int("channels", 0, "memory channels, each with its own controller and mitigation instance (0 = paper default 1; supported: 1 2 4 8)")
+		ranks     = flag.Int("ranks", 0, "ranks per channel (0 = paper default 2; supported: 1 2 4 8)")
 		traceFile = flag.String("tracefile", "", "replay a trace file on one core (with -exp run)")
 		seed      = flag.Uint64("seed", 0x51317, "simulation seed")
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
@@ -74,7 +76,20 @@ func realMain() error {
 		progress = os.Stderr
 	}
 
+	// Reject bad geometry up front, like -mitigation typos: a bad value
+	// would otherwise surface deep inside sim.Run, after valid cells.
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"channels", *channels}, {"ranks", *ranks}} {
+		if f.v < 0 || f.v > 8 || (f.v > 0 && f.v&(f.v-1) != 0) {
+			return fmt.Errorf("bad -%s %d: must be a power of two in 1..8 (0 keeps the paper default)", f.name, f.v)
+		}
+	}
+
 	opt := exp.DefaultSysOptions()
+	opt.Channels = *channels
+	opt.Ranks = *ranks
 	opt.Instructions = *insts
 	opt.Warmup = *warmup
 	opt.MixCount = *mixes
@@ -170,7 +185,7 @@ func runTraceFile(path string, o exp.SysOptions) error {
 	}
 	sopt := sim.DefaultOptions()
 	sopt.Generators = []trace.Generator{gen}
-	sopt.MemCfg = sim.SmallMemConfig()
+	sopt.MemCfg = o.MemCfg()
 	sopt.Instructions = o.Instructions
 	sopt.Warmup = o.Warmup
 	sopt.NRH = o.NRHs[0]

@@ -26,14 +26,17 @@ type MemoryPort interface {
 	Issue(addr uint64, write bool, done func()) bool
 }
 
-// QueueProbe is optionally implemented by a MemoryPort (the memory
-// controller implements it). It lets NextEvent distinguish "the memory
-// system would accept the pending request" from "queue full" without
-// side effects. Ports that do not implement it make the core report
-// itself always runnable, which is safe — the simulation loop then
-// simply never leaps on this core's behalf.
+// QueueProbe is optionally implemented by a MemoryPort (memsys.System
+// implements it). It lets NextEvent distinguish "the memory system
+// would accept the pending request" from "queue full" without side
+// effects. The address is part of the probe because a multi-channel
+// system routes each request to one channel's queues: a core stalled
+// on a full channel must not be woken by slack on another. Ports that
+// do not implement it make the core report itself always runnable,
+// which is safe — the simulation loop then simply never leaps on this
+// core's behalf.
 type QueueProbe interface {
-	CanAccept(write bool) bool
+	CanAccept(addr uint64, write bool) bool
 }
 
 // slot is one instruction-window entry.
@@ -184,7 +187,7 @@ func (c *Core) NextEvent() uint64 {
 		if !c.havePending || c.bubblesLeft > 0 {
 			return 0 // a bubble (or a fresh trace record) can dispatch
 		}
-		if c.probe == nil || c.probe.CanAccept(c.memRec.Write) {
+		if c.probe == nil || c.probe.CanAccept(c.memRec.Addr, c.memRec.Write) {
 			return 0 // the pending memory access would be accepted
 		}
 	}

@@ -178,11 +178,11 @@ func BenchmarkCoreTick(b *testing.B) {
 	}
 }
 
-// probedMem is fakeMem plus the QueueProbe surface the controller
+// probedMem is fakeMem plus the QueueProbe surface the memory system
 // provides: CanAccept mirrors Issue's admission check exactly.
 type probedMem struct{ fakeMem }
 
-func (m *probedMem) CanAccept(write bool) bool { return !m.full }
+func (m *probedMem) CanAccept(addr uint64, write bool) bool { return !m.full }
 
 // TestNextEventSoundness is the core-side half of the event-horizon
 // contract (the controller's half lives in memsys): whenever NextEvent

@@ -1,6 +1,7 @@
 package ddr
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -195,6 +196,130 @@ func TestMOPStreamsWithinRow(t *testing.T) {
 		}
 		if a.Column != first.Column+i {
 			t.Fatalf("line %d column = %d, want %d", i, a.Column, first.Column+i)
+		}
+	}
+}
+
+// TestGeometryValidateNamesFieldAndValue: channel/rank (and every
+// other) dimension failures must name the offending field and its
+// value, so multi-channel misconfigurations surface precisely.
+func TestGeometryValidateNamesFieldAndValue(t *testing.T) {
+	cases := []struct {
+		mutate     func(*Geometry)
+		field, val string
+	}{
+		{func(g *Geometry) { g.Channels = 3 }, "Channels", "3"},
+		{func(g *Geometry) { g.Channels = -2 }, "Channels", "-2"},
+		{func(g *Geometry) { g.Ranks = 6 }, "Ranks", "6"},
+		{func(g *Geometry) { g.Ranks = 0 }, "Ranks", "0"},
+		{func(g *Geometry) { g.BankGroups = 5 }, "BankGroups", "5"},
+		{func(g *Geometry) { g.Rows = 1000 }, "Rows", "1000"},
+	}
+	for _, tc := range cases {
+		g := PaperSystem()
+		tc.mutate(&g)
+		err := g.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected a validation error", tc.field)
+		}
+		if !strings.Contains(err.Error(), tc.field) || !strings.Contains(err.Error(), tc.val) {
+			t.Errorf("error %q does not name field %s with value %s", err, tc.field, tc.val)
+		}
+	}
+}
+
+// multiChannelGeometries returns the paper geometry at each supported
+// channel count (the multi-channel test grid).
+func multiChannelGeometries() []Geometry {
+	var gs []Geometry
+	for _, ch := range []int{1, 2, 4} {
+		g := PaperSystem()
+		g.Channels = ch
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// TestMapperRoundTripMultiChannel: Decode(Encode(a)) == a over the
+// exhaustive channel x rank x bank-group x bank grid (with row/column
+// corners) at Channels in {1,2,4}, for both mapping schemes.
+func TestMapperRoundTripMultiChannel(t *testing.T) {
+	for _, g := range multiChannelGeometries() {
+		mop, err := NewMOPMapper(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := NewRowInterleavedMapper(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := []int{0, 1, g.Rows / 2, g.Rows - 1}
+		cols := []int{0, 1, g.Columns / 2, g.Columns - 1}
+		for _, m := range []*Mapper{mop, ri} {
+			if uint64(1)<<m.AddressBits() != g.TotalBytes() {
+				t.Fatalf("%s channels=%d: address bits %d do not cover capacity %d",
+					m.Scheme(), g.Channels, m.AddressBits(), g.TotalBytes())
+			}
+			for ch := 0; ch < g.Channels; ch++ {
+				for rk := 0; rk < g.Ranks; rk++ {
+					for bg := 0; bg < g.BankGroups; bg++ {
+						for bk := 0; bk < g.BanksPerGroup; bk++ {
+							for _, row := range rows {
+								for _, col := range cols {
+									a := Address{Channel: ch, Rank: rk, BankGroup: bg,
+										Bank: bk, Row: row, Column: col}
+									phys := m.Encode(a)
+									if got := m.Decode(phys); got != a {
+										t.Fatalf("%s channels=%d: %+v -> %#x -> %+v",
+											m.Scheme(), g.Channels, a, phys, got)
+									}
+									if got := m.ChannelOf(phys); got != ch {
+										t.Fatalf("%s channels=%d: ChannelOf(%#x) = %d, want %d",
+											m.Scheme(), g.Channels, phys, got, ch)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMOPRowStridePerChannel: the attacker stride property — one row
+// per stride, everything below the row bits repeating — holds per
+// channel at every channel count. At one channel the stride is the
+// documented 256KB default of trace.AttackSpec; it doubles with the
+// channel count because the channel bits sit below the row bits.
+func TestMOPRowStridePerChannel(t *testing.T) {
+	for _, g := range multiChannelGeometries() {
+		m, err := NewMOPMapper(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stride := m.RowStrideBytes()
+		if want := uint64(256*1024) * uint64(g.Channels); stride != want {
+			t.Fatalf("channels=%d: row stride = %d bytes, want %d", g.Channels, stride, want)
+		}
+		for ch := 0; ch < g.Channels; ch++ {
+			base := m.Encode(Address{Channel: ch, Row: 7})
+			first := m.Decode(base)
+			for i := 1; i < 16; i++ {
+				a := m.Decode(base + uint64(i)*stride)
+				if a.Channel != ch {
+					t.Fatalf("channels=%d: stride %d left channel %d: %+v", g.Channels, i, ch, a)
+				}
+				if a.Rank != first.Rank || a.BankGroup != first.BankGroup ||
+					a.Bank != first.Bank || a.Column != first.Column {
+					t.Fatalf("channels=%d: stride %d changed bank coordinates: %+v vs %+v",
+						g.Channels, i, a, first)
+				}
+				if a.Row != first.Row+i {
+					t.Fatalf("channels=%d: stride %d row = %d, want %d",
+						g.Channels, i, a.Row, first.Row+i)
+				}
+			}
 		}
 	}
 }

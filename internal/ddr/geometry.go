@@ -44,15 +44,18 @@ func SmallSystem() Geometry {
 }
 
 // Validate checks that every dimension is positive and a power of two
-// (required by the bit-slicing address codec).
+// (required by the bit-slicing address codec). Every error names the
+// offending field and its value, so a channel/rank mismatch deep in a
+// sweep or a CLI flag surfaces as e.g. "Channels must be a power of
+// two, got 3" rather than a generic geometry failure.
 func (g Geometry) Validate() error {
 	for _, d := range []struct {
 		name string
 		v    int
 	}{
-		{"channels", g.Channels}, {"ranks", g.Ranks},
-		{"bank groups", g.BankGroups}, {"banks per group", g.BanksPerGroup},
-		{"rows", g.Rows}, {"columns", g.Columns}, {"line bytes", g.LineBytes},
+		{"Channels", g.Channels}, {"Ranks", g.Ranks},
+		{"BankGroups", g.BankGroups}, {"BanksPerGroup", g.BanksPerGroup},
+		{"Rows", g.Rows}, {"Columns", g.Columns}, {"LineBytes", g.LineBytes},
 	} {
 		if d.v <= 0 {
 			return fmt.Errorf("ddr: geometry %s must be positive, got %d", d.name, d.v)

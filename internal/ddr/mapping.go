@@ -15,6 +15,12 @@ type Mapper struct {
 	// address component and how many bits it consumes.
 	fields []mapField
 	scheme string
+
+	// chanShift/chanMask extract the channel bits without a full
+	// Decode; memsys.System consults them for every request and every
+	// occupancy probe. Precomputed by finish().
+	chanShift uint
+	chanMask  uint64
 }
 
 type mapField struct {
@@ -61,6 +67,7 @@ func NewMOPMapper(geo Geometry, mopWidth int) (*Mapper, error) {
 		{fColumnHigh, colHigh},
 		{fRow, log2(geo.Rows)},
 	}
+	m.finish()
 	return m, nil
 }
 
@@ -82,7 +89,23 @@ func NewRowInterleavedMapper(geo Geometry) (*Mapper, error) {
 		{fColumnHigh, 0},
 		{fRow, log2(geo.Rows)},
 	}
+	m.finish()
 	return m, nil
+}
+
+// finish precomputes the channel-extraction shift/mask from the field
+// layout. With a single channel the mask is zero and ChannelOf is
+// constant 0.
+func (m *Mapper) finish() {
+	shift := uint(0)
+	for _, f := range m.fields {
+		if f.kind == fChannel {
+			m.chanShift = shift
+			m.chanMask = 1<<f.bits - 1
+			return
+		}
+		shift += uint(f.bits)
+	}
 }
 
 // Scheme returns the mapping scheme name.
@@ -159,6 +182,31 @@ func (m *Mapper) Encode(a Address) uint64 {
 		shift += f.bits
 	}
 	return phys
+}
+
+// ChannelOf extracts just the channel index of a flat physical byte
+// address — the per-request routing decision a multi-channel memory
+// system makes. It is a shift and a mask, not a full Decode, so it is
+// cheap enough for per-cycle occupancy probes.
+func (m *Mapper) ChannelOf(phys uint64) int {
+	return int(phys >> m.chanShift & m.chanMask)
+}
+
+// RowStrideBytes returns the smallest physical-address stride that
+// advances the row index by exactly one while every lower coordinate
+// (channel, rank, bank group, bank, column) repeats — the stride a
+// same-bank hammer walks. Under the paper's single-channel MOP mapping
+// it is 256KB; each channel doubling doubles it, because the channel
+// bits sit below the row bits.
+func (m *Mapper) RowStrideBytes() uint64 {
+	shift := 0
+	for _, f := range m.fields {
+		if f.kind == fRow {
+			break
+		}
+		shift += f.bits
+	}
+	return 1 << shift
 }
 
 func (m *Mapper) colLowBits() int {

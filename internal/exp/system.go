@@ -6,6 +6,7 @@ import (
 
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
+	"pacram/internal/memsys"
 	"pacram/internal/mitigation"
 	"pacram/internal/runner"
 	"pacram/internal/sim"
@@ -29,6 +30,11 @@ type SysOptions struct {
 	// Mitigations to evaluate (empty = all five).
 	Mitigations []string
 	Seed        uint64
+	// Channels/Ranks override the simulated memory geometry (0 keeps
+	// the paper defaults: 1 channel, 2 ranks per channel). Each
+	// channel runs its own controller and mitigation instance; see
+	// memsys.System.
+	Channels, Ranks int
 
 	// Parallel bounds the runner's worker pool (0 = all CPUs).
 	// Results are bit-identical at any worker count.
@@ -51,6 +57,19 @@ func DefaultSysOptions() SysOptions {
 		NRHs:         []int{1024, 256, 64},
 		Seed:         0x51317,
 	}
+}
+
+// MemCfg returns the experiments' memory configuration: the scaled
+// paper system with the geometry overrides applied.
+func (o SysOptions) MemCfg() memsys.Config {
+	cfg := sim.SmallMemConfig()
+	if o.Channels != 0 {
+		cfg.Geometry.Channels = o.Channels
+	}
+	if o.Ranks != 0 {
+		cfg.Geometry.Ranks = o.Ranks
+	}
+	return cfg
 }
 
 func (o SysOptions) mitigations() []string {
@@ -83,11 +102,15 @@ type simRun func(key string, workloads []trace.Spec, mech string, nrh int,
 // simulation results, so cached cells are never reused across scales
 // or seeds.
 func (o SysOptions) runnerOptions(label string) (runner.Options, error) {
+	// The fingerprint carries the effective geometry, not the raw
+	// overrides: -channels 1 and the implicit default must share cache
+	// entries (their simulations are identical).
+	g := o.MemCfg().Geometry
 	return runner.Options{
 		Workers: o.Parallel,
 		Seed:    o.Seed,
-		Fingerprint: fmt.Sprintf("sim:v1:insts=%d:warmup=%d:seed=%d",
-			o.Instructions, o.Warmup, o.Seed),
+		Fingerprint: fmt.Sprintf("sim:v2:insts=%d:warmup=%d:seed=%d:ch=%d:rk=%d",
+			o.Instructions, o.Warmup, o.Seed, g.Channels, g.Ranks),
 		Progress: o.Progress,
 		Label:    label,
 	}.WithCacheDir(o.CacheDir)
@@ -108,7 +131,7 @@ func (o SysOptions) sweep(t *Table, label string, build func(*Table, simRun) err
 		w := append([]trace.Spec(nil), workloads...)
 		m.Add(key, func(runner.Ctx) (sim.Result, error) {
 			opt := sim.DefaultOptions(w...)
-			opt.MemCfg = sim.SmallMemConfig()
+			opt.MemCfg = o.MemCfg()
 			opt.Instructions = o.Instructions
 			opt.Warmup = o.Warmup
 			opt.Mitigation = mech
@@ -418,6 +441,9 @@ var (
 // custom memory configuration and refresh policy, so it plans its job
 // matrix directly instead of going through sweep.
 func Fig19(o SysOptions) (*Table, error) {
+	if o.Channels > 1 {
+		return nil, fmt.Errorf("exp: fig19's periodic-refresh policies are single-channel (got Channels = %d)", o.Channels)
+	}
 	t := &Table{
 		ID:      "fig19",
 		Title:   "Periodic-refresh reduction vs chip density (paper Fig. 19)",
@@ -447,7 +473,7 @@ func Fig19(o SysOptions) (*Table, error) {
 		}
 		m.Add(key(density, latFactor, refresh), func(runner.Ctx) (sim.Result, error) {
 			opt := sim.DefaultOptions(mix.Specs[:]...)
-			opt.MemCfg = sim.SmallMemConfig()
+			opt.MemCfg = o.MemCfg()
 			opt.MemCfg.Timing = opt.MemCfg.Timing.ScaleTRFC(scaleRFC)
 			opt.MemCfg.RefreshEnabled = refresh
 			opt.Instructions = o.Instructions

@@ -107,7 +107,7 @@ func Takeaways(co CharOptions, so SysOptions) (*Table, error) {
 	}
 	run := func(cfg *pacram.Config) (sim.Result, error) {
 		o := sim.DefaultOptions(spec)
-		o.MemCfg = sim.SmallMemConfig()
+		o.MemCfg = so.MemCfg()
 		o.Instructions = so.Instructions
 		o.Warmup = so.Warmup
 		o.Mitigation = mitigation.NameRFM

@@ -111,7 +111,7 @@ func NewController(cfg Config, mitig Mitigation, policy RefreshPolicy) (*Control
 		return nil, err
 	}
 	if cfg.Geometry.Channels != 1 {
-		return nil, fmt.Errorf("memsys: only single-channel systems are modeled, got %d channels", cfg.Geometry.Channels)
+		return nil, fmt.Errorf("memsys: Controller models one channel, got Geometry.Channels = %d (use NewSystem for multi-channel)", cfg.Geometry.Channels)
 	}
 	if cfg.CPUFreqGHz <= 0 {
 		return nil, fmt.Errorf("memsys: CPU frequency must be positive")
@@ -181,7 +181,12 @@ func (c *Controller) cycles(ns float64) uint64 {
 }
 
 // Issue enqueues a request (MemoryPort for cores). Returns false when
-// the respective queue is full.
+// the respective queue is full. The address is decoded with the
+// controller's own single-channel mapper; multi-channel systems decode
+// once at the System layer and call IssueDecoded instead. The two
+// paths deliberately do not share a body: a blocked core retries Issue
+// every cycle, and delegating measurably slows that per-cycle hot path
+// (BenchmarkControllerThroughput gates it in CI).
 func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 	line := addr &^ uint64(c.cfg.Geometry.LineBytes-1)
 	if write {
@@ -207,6 +212,40 @@ func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 		}
 	}
 	req := &Request{Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle}
+	c.indexRequest(req)
+	c.readQ = append(c.readQ, req)
+	return true
+}
+
+// IssueDecoded enqueues a request whose address is already decoded to
+// channel-local coordinates (Addr.Channel must be 0 — this controller
+// IS the channel). line is the line-aligned physical address used for
+// write-to-read forwarding; it may carry channel bits, which is safe
+// because requests on different channels can never share a line.
+func (c *Controller) IssueDecoded(a ddr.Address, line uint64, write bool, done func()) bool {
+	if write {
+		if len(c.writeQ) >= c.cfg.WriteQueue {
+			return false
+		}
+		req := &Request{Addr: a, Line: line, Write: true, Arrival: c.cycle}
+		c.indexRequest(req)
+		c.writeQ = append(c.writeQ, req)
+		return true
+	}
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		return false
+	}
+	// Forward from the write queue when the line is pending there.
+	for _, w := range c.writeQ {
+		if w.Line == line {
+			if done != nil {
+				c.completions.schedule(c.cycle+1, done)
+			}
+			c.stats.Reads++ // serviced, albeit by forwarding
+			return true
+		}
+	}
+	req := &Request{Addr: a, Line: line, Write: false, Done: done, Arrival: c.cycle}
 	c.indexRequest(req)
 	c.readQ = append(c.readQ, req)
 	return true

@@ -1,10 +1,24 @@
 // Package memsys implements the cycle-level DDR5 memory system of the
-// paper's evaluation (Table 2): a memory controller with 64-entry
-// read/write queues, FR-FCFS scheduling, MOP address mapping, periodic
-// refresh, RFM support, and a preventive-refresh (VRR) path whose
-// charge-restoration latency is programmable per refresh — the hook
-// PaCRAM uses. RowHammer mitigation mechanisms plug in as activation
-// observers.
+// paper's evaluation (Table 2), organized in two layers:
+//
+//   - Controller models ONE channel: 64-entry read/write queues,
+//     FR-FCFS scheduling, periodic refresh, RFM support, and a
+//     preventive-refresh (VRR) path whose charge-restoration latency
+//     is programmable per refresh — the hook PaCRAM uses. RowHammer
+//     mitigation mechanisms plug in as activation observers.
+//   - System owns N such Controllers and is what cores and the
+//     simulation engine talk to: it decodes each request's channel
+//     bits once (MOP address mapping over the full geometry), routes
+//     to the owning channel, ticks all channels in lockstep, and
+//     aggregates statistics (sum over channels) and the event horizon
+//     (min over channels).
+//
+// Mitigation state is strictly per channel: each channel carries its
+// own mechanism instance, refresh schedule and RFM queue, and a
+// tracker never observes another channel's activations — mirroring
+// the per-channel controller organization of real systems. The
+// paper's evaluation is the Channels = 1 special case, for which a
+// System is byte-identical to the bare Controller.
 package memsys
 
 import (

@@ -1,0 +1,230 @@
+package memsys
+
+import (
+	"fmt"
+
+	"pacram/internal/ddr"
+)
+
+// System is the multi-channel memory system: N independent per-channel
+// Controllers — each with its own mitigation instance, refresh policy,
+// command/data buses and queues — behind the single object the rest of
+// the stack talks to. It routes requests by the mapper's decoded
+// channel bits, exposes the same Issue/CanAccept probe surface cores
+// use, ticks all channels in lockstep with the CPU clock, and
+// aggregates the event horizon (min over channels) and statistics
+// (sum over channels) for the simulation engine.
+//
+// Channel state is fully private per channel: a RowHammer tracker on
+// channel 0 never observes channel 1's activations, and each channel
+// runs its own periodic-refresh and RFM schedule — the organization
+// real multi-channel controllers use, and the reason mitigation
+// instances are passed per channel rather than shared.
+//
+// A single-channel System is byte-identical to driving the wrapped
+// Controller directly: the full-geometry mapper degenerates to the
+// controller's own (zero channel bits), and every aggregate is the
+// one channel's value.
+type System struct {
+	cfg      Config
+	mapper   *ddr.Mapper // full-geometry mapper: decodes channel bits
+	channels []*Controller
+	cycle    uint64
+}
+
+// NewSystem builds an N-channel system from the full-system config
+// (cfg.Geometry.Channels = N). mitigs and policies supply one
+// mitigation mechanism / refresh policy per channel; either may be nil
+// (no mitigation / nominal latency everywhere), otherwise its length
+// must equal the channel count.
+func NewSystem(cfg Config, mitigs []Mitigation, policies []RefreshPolicy) (*System, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Geometry.Channels
+	if mitigs != nil && len(mitigs) != n {
+		return nil, fmt.Errorf("memsys: got %d mitigation instances for Geometry.Channels = %d (one per channel, or nil)", len(mitigs), n)
+	}
+	if policies != nil && len(policies) != n {
+		return nil, fmt.Errorf("memsys: got %d refresh policies for Geometry.Channels = %d (one per channel, or nil)", len(policies), n)
+	}
+	mapper, err := ddr.NewMOPMapper(cfg.Geometry, cfg.MOPWidth)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, mapper: mapper, channels: make([]*Controller, n)}
+	for ch := 0; ch < n; ch++ {
+		chCfg := cfg
+		chCfg.Geometry.Channels = 1
+		var m Mitigation
+		if mitigs != nil {
+			m = mitigs[ch]
+		}
+		var p RefreshPolicy
+		if policies != nil {
+			p = policies[ch]
+		}
+		ctrl, err := NewController(chCfg, m, p)
+		if err != nil {
+			return nil, err
+		}
+		s.channels[ch] = ctrl
+	}
+	return s, nil
+}
+
+// Geometry returns the full-system geometry (Channels = N).
+func (s *System) Geometry() ddr.Geometry { return s.cfg.Geometry }
+
+// Mapper returns the full-geometry address mapper (channel bits
+// included).
+func (s *System) Mapper() *ddr.Mapper { return s.mapper }
+
+// NumChannels returns the channel count.
+func (s *System) NumChannels() int { return len(s.channels) }
+
+// Channel returns channel ch's controller (tests and diagnostics).
+func (s *System) Channel(ch int) *Controller { return s.channels[ch] }
+
+// Cycle returns the current cycle (all channels share the CPU clock).
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Issue routes a request to its channel by the mapper's decoded
+// channel bits (MemoryPort for cores). Returns false when that
+// channel's respective queue is full.
+func (s *System) Issue(addr uint64, write bool, done func()) bool {
+	a := s.mapper.Decode(addr)
+	ch := a.Channel
+	a.Channel = 0 // channel-local coordinates for the per-channel controller
+	line := addr &^ uint64(s.cfg.Geometry.LineBytes-1)
+	return s.channels[ch].IssueDecoded(a, line, write, done)
+}
+
+// CanAccept reports whether Issue would accept a request for addr
+// right now — a pure occupancy probe against the queue of the channel
+// the address routes to. Cores consult it (via cpu.QueueProbe) when
+// computing their event horizon, so a core stalled on one channel's
+// full queue is not woken by slack on another.
+func (s *System) CanAccept(addr uint64, write bool) bool {
+	return s.channels[s.mapper.ChannelOf(addr)].CanAccept(write)
+}
+
+// Tick advances every channel by one CPU cycle. Channels are
+// independent command buses, so each may issue one command per cycle.
+// The system clock moves first so completion callbacks firing inside a
+// channel's Tick observe the same Cycle() the channel itself reports.
+func (s *System) Tick() {
+	s.cycle++
+	for _, c := range s.channels {
+		c.Tick()
+	}
+}
+
+// AdvanceTo jumps every channel's clock to cycle. The caller must have
+// proven — via NextEvent — that every skipped Tick would have been a
+// no-op on every channel.
+func (s *System) AdvanceTo(cycle uint64) {
+	if cycle <= s.cycle {
+		return
+	}
+	for _, c := range s.channels {
+		c.AdvanceTo(cycle)
+	}
+	s.cycle = cycle
+}
+
+// NextEvent returns the system event horizon: the minimum of the
+// per-channel horizons. Every Tick strictly before it is a no-op for
+// every channel, which is what lets the event-horizon engine leap the
+// whole system in one step.
+func (s *System) NextEvent() uint64 {
+	h := s.channels[0].NextEvent()
+	for _, c := range s.channels[1:] {
+		if ch := c.NextEvent(); ch < h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Events returns the sum of the per-channel state-change counters
+// (see Controller.Events).
+func (s *System) Events() uint64 {
+	var n uint64
+	for _, c := range s.channels {
+		n += c.events
+	}
+	return n
+}
+
+// PendingReads reports outstanding demand reads across all channels.
+func (s *System) PendingReads() int {
+	n := 0
+	for _, c := range s.channels {
+		n += c.PendingReads()
+	}
+	return n
+}
+
+// Stats returns the whole-system statistics: per-channel counters and
+// busy-time integrals summed, Cycles the shared clock (not summed —
+// every channel spans the same wall-clock interval).
+func (s *System) Stats() Stats {
+	if len(s.channels) == 1 {
+		return s.channels[0].Stats()
+	}
+	var agg Stats
+	for _, c := range s.channels {
+		agg.add(c.Stats())
+	}
+	agg.Cycles = s.cycle
+	return agg
+}
+
+// ChannelStats returns each channel's statistics snapshot, in channel
+// order. Summing the counter fields reproduces Stats (Cycles excepted:
+// channels share the clock).
+func (s *System) ChannelStats() []Stats {
+	out := make([]Stats, len(s.channels))
+	for i, c := range s.channels {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// SetAudit installs an activation listener on every channel. The
+// callback sees system-flat bank indices (channel-major, matching
+// Geometry.FlatBank on the full geometry), so security tests can
+// observe the whole system through one listener.
+func (s *System) SetAudit(fn func(bank, row int, preventive bool)) {
+	banksPerChannel := s.cfg.Geometry.Ranks * s.cfg.Geometry.Banks()
+	for ch, c := range s.channels {
+		base := ch * banksPerChannel
+		c.SetAudit(func(bank, row int, preventive bool) {
+			fn(base+bank, row, preventive)
+		})
+	}
+}
+
+// add accumulates another snapshot's counters into s (Cycles is left
+// to the caller: it is a clock, not a counter).
+func (s *Stats) add(o Stats) {
+	s.Acts += o.Acts
+	s.Pres += o.Pres
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Refs += o.Refs
+	s.RFMs += o.RFMs
+	s.VRRs += o.VRRs
+	s.VRRFull += o.VRRFull
+	s.VRRPartial += o.VRRPartial
+	s.MetaReads += o.MetaReads
+	s.MetaWrites += o.MetaWrites
+	s.DemandBusy += o.DemandBusy
+	s.RefBusy += o.RefBusy
+	s.PrevRefBusy += o.PrevRefBusy
+	s.VRRRestoreNs += o.VRRRestoreNs
+	s.RefRestoreNs += o.RefRestoreNs
+	s.ReadLatencySum += o.ReadLatencySum
+	s.ReadCount += o.ReadCount
+}

@@ -1,0 +1,279 @@
+package memsys
+
+import (
+	"reflect"
+	"testing"
+
+	"pacram/internal/ddr"
+)
+
+func newSystem(t testing.TB, cfg Config, mitigs []Mitigation, policies []RefreshPolicy) *System {
+	t.Helper()
+	s, err := NewSystem(cfg, mitigs, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Geometry.Channels = 3
+	if _, err := NewSystem(cfg, nil, nil); err == nil {
+		t.Fatal("non-power-of-two channel count accepted")
+	}
+	cfg = testConfig()
+	cfg.Geometry.Channels = 2
+	if _, err := NewSystem(cfg, []Mitigation{NoMitigation{}}, nil); err == nil {
+		t.Fatal("mitigation count != channel count accepted")
+	}
+	if _, err := NewSystem(cfg, nil, []RefreshPolicy{NominalPolicy{}}); err == nil {
+		t.Fatal("policy count != channel count accepted")
+	}
+}
+
+// TestSystemSingleChannelIdentity: a 1-channel System must behave
+// byte-identically to the bare Controller it wraps — same completion
+// times, same stats, same horizon — for an interleaved read/write
+// stream. This is the refactor's parity anchor at the memsys level.
+func TestSystemSingleChannelIdentity(t *testing.T) {
+	cfg := testConfig()
+	sys := newSystem(t, cfg, nil, nil)
+	ctrl := newCtrl(t, cfg, nil, nil)
+
+	var sysDone, ctrlDone []uint64
+	mapper := ctrl.Mapper()
+	for i := 0; i < 4000; i++ {
+		if i%3 == 0 {
+			addr := mapper.Encode(ddr.Address{Row: (i * 7) % 1024, Column: i % 128,
+				Bank: i % 2, BankGroup: (i / 2) % 8, Rank: (i / 16) % 2})
+			write := i%5 == 0
+			var sd, cd func()
+			if !write {
+				sd = func() { sysDone = append(sysDone, sys.Cycle()) }
+				cd = func() { ctrlDone = append(ctrlDone, ctrl.Cycle()) }
+			}
+			if got, want := sys.Issue(addr, write, sd), ctrl.Issue(addr, write, cd); got != want {
+				t.Fatalf("tick %d: Issue acceptance diverged: system %v, controller %v", i, got, want)
+			}
+		}
+		if got, want := sys.NextEvent(), ctrl.NextEvent(); got != want {
+			t.Fatalf("tick %d: NextEvent diverged: system %d, controller %d", i, got, want)
+		}
+		sys.Tick()
+		ctrl.Tick()
+	}
+	if !reflect.DeepEqual(sysDone, ctrlDone) {
+		t.Fatalf("completion cycles diverged:\nsystem:     %v\ncontroller: %v", sysDone, ctrlDone)
+	}
+	if sys.Stats() != ctrl.Stats() {
+		t.Fatalf("stats diverged:\nsystem:     %+v\ncontroller: %+v", sys.Stats(), ctrl.Stats())
+	}
+	if sys.Events() != ctrl.Events() {
+		t.Fatalf("events diverged: system %d, controller %d", sys.Events(), ctrl.Events())
+	}
+}
+
+// dualChannelConfig returns the test geometry at two channels.
+func dualChannelConfig() Config {
+	cfg := testConfig()
+	cfg.Geometry.Channels = 2
+	return cfg
+}
+
+// TestSystemRoutesByChannelBits: every request lands on the channel
+// the mapper decodes, and only there.
+func TestSystemRoutesByChannelBits(t *testing.T) {
+	cfg := dualChannelConfig()
+	sys := newSystem(t, cfg, nil, nil)
+	m := sys.Mapper()
+	pending := 0
+	for ch := 0; ch < 2; ch++ {
+		for i := 0; i < 8; i++ {
+			addr := m.Encode(ddr.Address{Channel: ch, Row: i * 3, Column: i})
+			if m.ChannelOf(addr) != ch {
+				t.Fatalf("encode/ChannelOf mismatch for channel %d", ch)
+			}
+			pending++
+			if !sys.Issue(addr, false, func() { pending-- }) {
+				t.Fatalf("issue rejected on channel %d", ch)
+			}
+		}
+	}
+	for i := 0; i < 20000 && pending > 0; i++ {
+		sys.Tick()
+	}
+	if pending != 0 {
+		t.Fatalf("%d reads never completed", pending)
+	}
+	for ch := 0; ch < 2; ch++ {
+		st := sys.Channel(ch).Stats()
+		if st.Reads != 8 {
+			t.Fatalf("channel %d serviced %d reads, want 8", ch, st.Reads)
+		}
+	}
+}
+
+// TestSystemStatsSumToTotal: the whole-system snapshot equals the sum
+// of the per-channel snapshots, counter by counter.
+func TestSystemStatsSumToTotal(t *testing.T) {
+	cfg := dualChannelConfig()
+	sys := newSystem(t, cfg, nil, nil)
+	m := sys.Mapper()
+	pending := 0
+	for i := 0; i < 200; i++ {
+		addr := m.Encode(ddr.Address{Channel: i % 2, Row: (i * 11) % 1024, Column: i % 128,
+			BankGroup: i % 8})
+		if i%4 == 0 {
+			sys.Issue(addr, true, nil)
+		} else {
+			pending++
+			if !sys.Issue(addr, false, func() { pending-- }) {
+				pending--
+			}
+		}
+		sys.Tick()
+	}
+	for i := 0; i < 100000 && pending > 0; i++ {
+		sys.Tick()
+	}
+	if pending != 0 {
+		t.Fatalf("%d reads never completed", pending)
+	}
+	// Sum field by field via reflection, independently of Stats.add, so
+	// a counter added to the struct but forgotten in add fails here.
+	var sum Stats
+	sv := reflect.ValueOf(&sum).Elem()
+	for _, st := range sys.ChannelStats() {
+		cv := reflect.ValueOf(st)
+		for i := 0; i < cv.NumField(); i++ {
+			f := sv.Field(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				f.SetUint(f.Uint() + cv.Field(i).Uint())
+			case reflect.Float64:
+				f.SetFloat(f.Float() + cv.Field(i).Float())
+			default:
+				t.Fatalf("Stats field %s has unsummable kind %s", reflect.TypeOf(sum).Field(i).Name, f.Kind())
+			}
+		}
+	}
+	sum.Cycles = sys.Cycle()
+	if got := sys.Stats(); got != sum {
+		t.Fatalf("system stats != channel sum:\nsystem: %+v\nsum:    %+v", got, sum)
+	}
+	// Both channels actually saw traffic (the routing isn't degenerate).
+	for ch := 0; ch < 2; ch++ {
+		if st := sys.Channel(ch).Stats(); st.Reads == 0 {
+			t.Fatalf("channel %d saw no reads", ch)
+		}
+	}
+}
+
+// TestSystemNextEventIsMinOverChannels: the system horizon is the
+// earliest channel horizon, and the never-late property carries over:
+// ticking to just before the horizon changes nothing.
+func TestSystemNextEventIsMinOverChannels(t *testing.T) {
+	cfg := dualChannelConfig()
+	sys := newSystem(t, cfg, nil, nil)
+	m := sys.Mapper()
+	// Load only channel 1: channel 0 idles at its refresh horizon.
+	pending := 0
+	for i := 0; i < 8; i++ {
+		pending++
+		sys.Issue(m.Encode(ddr.Address{Channel: 1, Row: i * 5}), false, func() { pending-- })
+	}
+	for step := 0; step < 5000 && pending > 0; step++ {
+		h := sys.NextEvent()
+		min := sys.channels[0].NextEvent()
+		if h2 := sys.channels[1].NextEvent(); h2 < min {
+			min = h2
+		}
+		if h != min {
+			t.Fatalf("system horizon %d != min over channels %d", h, min)
+		}
+		// Never-late: every tick strictly before h is a no-op.
+		before := sys.Events()
+		for sys.Cycle()+1 < h {
+			sys.Tick()
+			if sys.Events() != before {
+				t.Fatalf("event fired at cycle %d, before the reported horizon %d", sys.Cycle(), h)
+			}
+		}
+		sys.Tick() // the horizon cycle itself may (or may not) act
+	}
+	if pending != 0 {
+		t.Fatalf("%d reads never completed", pending)
+	}
+}
+
+// TestSystemPerChannelMitigationIsolation: an aggressor hammering
+// channel 0 must only trigger preventive refreshes from channel 0's
+// mechanism; channel 1's tracker state stays untouched.
+func TestSystemPerChannelMitigationIsolation(t *testing.T) {
+	cfg := dualChannelConfig()
+	counting := func() (*int, Mitigation) {
+		n := new(int)
+		return n, countingMitigation{n: n}
+	}
+	n0, m0 := counting()
+	n1, m1 := counting()
+	sys := newSystem(t, cfg, []Mitigation{m0, m1}, nil)
+	m := sys.Mapper()
+	pending := 0
+	for i := 0; i < 64; i++ {
+		pending++
+		if !sys.Issue(m.Encode(ddr.Address{Channel: 0, Row: (i * 7) % 512}), false, func() { pending-- }) {
+			pending--
+		}
+		sys.Tick()
+	}
+	for i := 0; i < 100000 && pending > 0; i++ {
+		sys.Tick()
+	}
+	if *n0 == 0 {
+		t.Fatal("channel 0's mechanism never observed an activation")
+	}
+	if *n1 != 0 {
+		t.Fatalf("channel 1's mechanism observed %d activations from channel-0 traffic", *n1)
+	}
+}
+
+// countingMitigation counts OnActivate calls.
+type countingMitigation struct{ n *int }
+
+func (c countingMitigation) Name() string { return "count" }
+func (c countingMitigation) OnActivate(bank, row int) Action {
+	*c.n++
+	return Action{}
+}
+func (c countingMitigation) OnRefreshWindow() {}
+
+// TestSystemAuditFlatBankOffsets: the system-level audit reports
+// channel-major flat bank indices matching the full geometry.
+func TestSystemAuditFlatBankOffsets(t *testing.T) {
+	cfg := dualChannelConfig()
+	sys := newSystem(t, cfg, nil, nil)
+	m := sys.Mapper()
+	g := cfg.Geometry
+	seen := map[int]bool{}
+	sys.SetAudit(func(bank, row int, preventive bool) { seen[bank] = true })
+	pending := 0
+	for ch := 0; ch < 2; ch++ {
+		a := ddr.Address{Channel: ch, Rank: 1, BankGroup: 2, Bank: 1, Row: 9}
+		pending++
+		sys.Issue(m.Encode(a), false, func() { pending-- })
+	}
+	for i := 0; i < 20000 && pending > 0; i++ {
+		sys.Tick()
+	}
+	if pending != 0 {
+		t.Fatal("reads never completed")
+	}
+	for ch := 0; ch < 2; ch++ {
+		want := g.FlatBank(ddr.Address{Channel: ch, Rank: 1, BankGroup: 2, Bank: 1})
+		if !seen[want] {
+			t.Fatalf("audit never saw system-flat bank %d (channel %d); saw %v", want, ch, seen)
+		}
+	}
+}

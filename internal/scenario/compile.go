@@ -9,6 +9,7 @@ import (
 
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
+	"pacram/internal/ddr"
 	"pacram/internal/memsys"
 	"pacram/internal/mitigation"
 	"pacram/internal/runner"
@@ -246,6 +247,23 @@ func (s *Spec) Compile() (*Plan, error) {
 		row := rowPlan{display: pt.display, groups: make([][]memberCells, len(groups))}
 		for gi := range groups {
 			for _, mem := range groups[gi] {
+				// Attacker strides resolve against the cell's geometry,
+				// so their footprint check must re-run per sweep point —
+				// here, at plan time with a precise path, not mid-sweep
+				// inside the runner.
+				for ci, core := range mem.cores {
+					if core.Attack == nil {
+						continue
+					}
+					if _, err := rc.attackSpec(*core.Attack); err != nil {
+						return nil, s.errf(fmt.Sprintf("%s: member %q core %d attacker", ppath, mem.name, ci), "%v", err)
+					}
+					if baseRC != nil {
+						if _, err := baseRC.attackSpec(*core.Attack); err != nil {
+							return nil, s.errf(fmt.Sprintf("%s baseline: member %q core %d attacker", ppath, mem.name, ci), "%v", err)
+						}
+					}
+				}
 				mc := memberCells{}
 				mc.key, err = plan.addJob(rc, mem)
 				if err != nil {
@@ -343,7 +361,11 @@ func (rc *resolvedCell) simOptions(cores []resolvedCore) (sim.Options, error) {
 		case c.Spec != nil:
 			gen, err = trace.New(*c.Spec, seed)
 		case c.Attack != nil:
-			gen, err = trace.NewAttacker(*c.Attack, seed)
+			var as trace.AttackSpec
+			as, err = rc.attackSpec(*c.Attack)
+			if err == nil {
+				gen, err = trace.NewAttacker(as, seed)
+			}
 		case c.Phased != nil:
 			phases := make([]trace.Phase, len(c.Phased.Phases))
 			for pi, ph := range c.Phased.Phases {
@@ -359,6 +381,22 @@ func (rc *resolvedCell) simOptions(cores []resolvedCore) (sim.Options, error) {
 		opt.Generators[i] = gen
 	}
 	return opt, nil
+}
+
+// attackSpec resolves an attacker spec against this cell's geometry:
+// an unset stride becomes the cell mapping's row stride (one row per
+// stride at any channel count), and the resolved spec is re-validated
+// — the stride grows with the channel count, so a footprint that held
+// at one channel can overflow at four.
+func (rc *resolvedCell) attackSpec(a trace.AttackSpec) (trace.AttackSpec, error) {
+	if a.StrideBytes == 0 {
+		mapper, err := ddr.NewMOPMapper(rc.MemCfg.Geometry, rc.MemCfg.MOPWidth)
+		if err != nil {
+			return a, err
+		}
+		a.StrideBytes = int(mapper.RowStrideBytes())
+	}
+	return a, a.Validate()
 }
 
 // baseCell is the pre-sweep state: spec defaults with the seed filled
@@ -380,6 +418,9 @@ func (s *Spec) baseCell() cell {
 // a multiplier, so "last patch wins" must be resolved by the caller
 // before scaling once.
 func applyMem(mem *memsys.Config, m MemParams) (trfcScale float64) {
+	if m.Channels != 0 {
+		mem.Geometry.Channels = m.Channels
+	}
 	if m.Ranks != 0 {
 		mem.Geometry.Ranks = m.Ranks
 	}
@@ -595,8 +636,13 @@ func (s *Spec) resolveCore(path string, idx int, cs CoreSpec) (resolvedCore, err
 			return resolvedCore{}, s.errf(path+".attacker", "%v", err)
 		}
 		// Canonicalize so specs that differ only in spelled-out defaults
-		// hash to the same cell.
+		// hash to the same cell — except the stride: an unset stride
+		// stays 0 and resolves per cell to the cell geometry's row
+		// stride (one row per stride on every channel count), which the
+		// single geometry-aware default trace cannot provide. The cell's
+		// MemCfg is part of the job key, so the 0 is unambiguous.
 		as = as.WithDefaults()
+		as.StrideBytes = a.StrideKB * 1024
 		return resolvedCore{Attack: &as}, nil
 	default:
 		name := cs.Name
@@ -857,6 +903,8 @@ func parseAxisValue(param string, raw json.RawMessage) (axisValue, error) {
 		return uintVal(func(c *cell, v uint64) { c.sim.Warmup = v })
 	case "seed":
 		return uintVal(func(c *cell, v uint64) { c.sim.Seed = v })
+	case "memory.channels":
+		return intVal(func(c *cell, v int) { c.mem.Channels = v })
 	case "memory.rows":
 		return intVal(func(c *cell, v int) { c.mem.Rows = v })
 	case "memory.ranks":
@@ -877,6 +925,6 @@ func parseAxisValue(param string, raw json.RawMessage) (axisValue, error) {
 		return floatVal(func(c *cell, v float64) { c.mem.CPUFreqGHz = v })
 	}
 	return axisValue{}, fmt.Errorf("unknown sweep parameter %q (have: mitigation nrh pacram periodicExtension "+
-		"instructions warmup seed memory.rows memory.ranks memory.bankGroups memory.banksPerGroup "+
+		"instructions warmup seed memory.channels memory.rows memory.ranks memory.bankGroups memory.banksPerGroup "+
 		"memory.mopWidth memory.blastRadius memory.refreshEnabled memory.trfcScale memory.cpuFreqGHz)", param)
 }

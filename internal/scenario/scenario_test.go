@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -283,6 +284,87 @@ func TestZipSweep(t *testing.T) {
 	}
 	if tbl.Rows[1][0] != "RFM" || tbl.Rows[1][1] != "64" {
 		t.Errorf("row 1 = %v, want RFM/64", tbl.Rows[1])
+	}
+}
+
+// TestChannelsAxis sweeps the memory-channel count end to end: a
+// bandwidth-bound core must speed up when a second channel is added,
+// and a bad channel count must fail validation naming the field.
+func TestChannelsAxis(t *testing.T) {
+	spec := `{
+		"name": "channels",
+		"sim": {"instructions": 4000, "warmup": 400},
+		"workloads": [{"name": "g", "members": [{"cores": [{"workload": "470.lbm"}, {"workload": "429.mcf"}]}]}],
+		"sweep": {"axes": [{"param": "memory.channels", "values": [1, 2]}]},
+		"columns": [
+			{"name": "channels", "axis": "memory.channels"},
+			{"name": "ipc", "group": "g", "metric": "sumIPC"}
+		]
+	}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Run(s, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+	one, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	two, _ := strconv.ParseFloat(tbl.Rows[1][1], 64)
+	if two <= one {
+		t.Errorf("second channel did not help a bandwidth-bound pair: %g -> %g", one, two)
+	}
+
+	bad := `{
+		"name": "channels-bad",
+		"sim": {"instructions": 4000},
+		"memory": {"channels": 3},
+		"workloads": [{"name": "g", "members": [{"cores": [{"workload": "429.mcf"}]}]}],
+		"columns": [{"name": "ipc", "group": "g", "metric": "sumIPC"}]
+	}`
+	s, err = Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Channels") || !strings.Contains(err.Error(), "3") {
+		t.Errorf("invalid channel count error %v does not name the field and value", err)
+	}
+}
+
+// TestAttackerStrideRevalidatedPerChannelCount: an unset attacker
+// stride resolves to the cell geometry's row stride, which grows with
+// the channel count — so a footprint that holds at one channel can
+// overflow at four, and that must surface at validation time with a
+// precise path, not mid-sweep.
+func TestAttackerStrideRevalidatedPerChannelCount(t *testing.T) {
+	spec := `{
+		"name": "stride-overflow",
+		"sim": {"instructions": 4000},
+		"workloads": [{"name": "g", "members": [{"cores": [
+			{"attacker": {"sides": 15, "footprintMB": 8}}
+		]}]}],
+		"sweep": {"axes": [{"param": "memory.channels", "values": [1, 4]}]},
+		"columns": [
+			{"name": "channels", "axis": "memory.channels"},
+			{"name": "ipc", "group": "g", "metric": "sumIPC"}
+		]
+	}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Validate()
+	if err == nil {
+		t.Fatal("a 31-aggressor-span attack at a 4-channel (1MB) row stride fits no 8MB footprint; Validate passed")
+	}
+	for _, want := range []string{"attacker", "footprint"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

@@ -67,6 +67,10 @@ type SimParams struct {
 // MemParams override the base memory system (sim.SmallMemConfig: the
 // paper's DDR5 system at 4096 rows/bank). Zero fields inherit.
 type MemParams struct {
+	// Channels sets the memory-channel count (each channel gets its
+	// own controller, queues, refresh schedule and mitigation
+	// instance; see memsys.System).
+	Channels       int     `json:"channels,omitempty"`
 	Ranks          int     `json:"ranks,omitempty"`
 	BankGroups     int     `json:"bankGroups,omitempty"`
 	BanksPerGroup  int     `json:"banksPerGroup,omitempty"`
@@ -179,12 +183,15 @@ type SpecOverride struct {
 
 // AttackerSpec mirrors trace.AttackSpec.
 type AttackerSpec struct {
-	Name        string `json:"name,omitempty"`
-	Sides       int    `json:"sides,omitempty"`
-	StrideKB    int    `json:"strideKB,omitempty"`
-	Bubbles     int    `json:"bubbles,omitempty"`
-	VictimEvery int    `json:"victimEvery,omitempty"`
-	FootprintMB int    `json:"footprintMB,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Sides int    `json:"sides,omitempty"`
+	// StrideKB is the aggressor spacing. Unset (0) resolves per cell
+	// to the cell geometry's row stride — one row per stride at any
+	// channel count (256KB on the paper's single-channel system).
+	StrideKB    int `json:"strideKB,omitempty"`
+	Bubbles     int `json:"bubbles,omitempty"`
+	VictimEvery int `json:"victimEvery,omitempty"`
+	FootprintMB int `json:"footprintMB,omitempty"`
 }
 
 // PhaseSpec is one leg of a phased core: a catalog or synthetic

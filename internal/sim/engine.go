@@ -40,7 +40,7 @@ const (
 // soundness test in memsys builds on it.)
 type engine struct {
 	cores    []*cpu.Core
-	ctrl     *memsys.Controller
+	ctrl     *memsys.System
 	perCycle bool
 	runnable []bool // per-core runnability, refreshed each step
 }

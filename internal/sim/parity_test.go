@@ -216,6 +216,93 @@ func TestEngineParityAdversarial(t *testing.T) {
 	})
 }
 
+// TestEngineParityMultiChannel extends the parity proof beyond the
+// paper's single channel: both engines must agree byte-for-byte when
+// requests fan out over 2 and 4 channels, with per-channel mitigation
+// and PaCRAM state, and under an adversarial hammer. The event-horizon
+// leap here is bounded by the min over channel horizons, which is the
+// new code path this suite pins down.
+func TestEngineParityMultiChannel(t *testing.T) {
+	channelOpts := func(channels int, workloads ...string) func() Options {
+		base := parityOpts(t, workloads...)
+		return func() Options {
+			opt := base()
+			opt.MemCfg.Geometry.Channels = channels
+			return opt
+		}
+	}
+
+	runBoth(t, "2ch-baseline-lbm", channelOpts(2, "470.lbm"))
+	runBoth(t, "4ch-mix", func() Options {
+		mix := trace.Mixes()[0]
+		names := make([]string, len(mix.Specs))
+		for i := range mix.Specs {
+			names[i] = mix.Specs[i].Name
+		}
+		return channelOpts(4, names...)()
+	})
+
+	for _, mech := range []string{"PARA", "Graphene", "Hydra"} {
+		base := channelOpts(2, "429.mcf", "ycsb-a")
+		runBoth(t, "2ch-mitigation-"+mech, func() Options {
+			opt := base()
+			opt.Mitigation = mech
+			opt.NRH = 64
+			return opt
+		})
+	}
+
+	mod, err := chips.ByID("H5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := pacram.Derive(mod, 4, 64, ddr.DDR5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := channelOpts(2, "429.mcf")
+	runBoth(t, "2ch-pacram-rfm", func() Options {
+		opt := base()
+		opt.Mitigation = "RFM"
+		opt.NRH = 64
+		opt.PaCRAM = &cfg
+		return opt
+	})
+
+	runBoth(t, "2ch-hammer-victims", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.MemCfg.Geometry.Channels = 2
+		opt.Instructions = 6_000
+		opt.Warmup = 600
+		opt.Mitigation = "Graphene"
+		opt.NRH = 128
+		// The attacker stride must be this geometry's row stride (512KB
+		// at 2 channels), not the single-channel 256KB default, for the
+		// hammer to hit one row per stride.
+		mapper, err := ddr.NewMOPMapper(opt.MemCfg.Geometry, opt.MemCfg.MOPWidth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hammer, err := trace.NewAttacker(trace.AttackSpec{Sides: 4, VictimEvery: 32,
+			StrideBytes: int(mapper.RowStrideBytes())},
+			WorkloadSeed(opt.Seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim, err := trace.SpecByName("ycsb-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vg, err := trace.New(victim, WorkloadSeed(opt.Seed, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Generators = []trace.Generator{hammer, vg}
+		return opt
+	})
+}
+
 // TestEngineParityStallError verifies the engines also agree on the
 // failure path: same error, naming the actually-stalled core.
 func TestEngineParityStallError(t *testing.T) {

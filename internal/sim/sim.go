@@ -103,6 +103,11 @@ type Result struct {
 	Stats memsys.Stats
 	// Energy is the DRAM energy over the measurement interval.
 	Energy energy.Breakdown
+	// ChannelStats break Stats down per memory channel (summing the
+	// counter fields reproduces Stats; Cycles is the shared clock).
+	// Nil for single-channel runs, whose Result is unchanged from the
+	// single-channel engine.
+	ChannelStats []memsys.Stats `json:",omitempty"`
 	// PrevRefBusyFraction is Fig. 3's metric.
 	PrevRefBusyFraction float64
 	// PartialFraction is the share of preventive refreshes issued at
@@ -139,37 +144,59 @@ func Run(opt Options) (Result, error) {
 			opt.Engine, EngineEventHorizon, EnginePerCycle)
 	}
 
+	// Mitigation and refresh-policy state is strictly per channel (see
+	// memsys.System): each channel gets its own mechanism and PaCRAM
+	// policy instance, sized for one channel's banks. Channel 0 uses
+	// the run seed unchanged, so single-channel runs are byte-identical
+	// to the pre-System engine.
+	geo := opt.MemCfg.Geometry
+	channelBanks := geo.Ranks * geo.Banks()
+
 	nrh := opt.NRH
-	policy := opt.Policy
-	var pol *pacram.Policy
-	if policy == nil && opt.PaCRAM != nil {
+	var policies []memsys.RefreshPolicy
+	var pols []*pacram.Policy
+	switch {
+	case opt.Policy != nil:
+		if geo.Channels != 1 {
+			return Result{}, fmt.Errorf("sim: Options.Policy overrides are single-channel only (got %d channels); use PaCRAM for per-channel policies", geo.Channels)
+		}
+		policies = []memsys.RefreshPolicy{opt.Policy}
+	case opt.PaCRAM != nil:
 		nrh = opt.PaCRAM.ScaledNRH(opt.NRH)
-		pol = pacram.NewPolicy(*opt.PaCRAM, opt.MemCfg.Geometry.TotalBanks(), opt.MemCfg.Geometry.Rows)
-		if opt.PeriodicExtension {
-			policy = pacram.NewPeriodicPolicy(pol)
-		} else {
-			policy = pol
+		policies = make([]memsys.RefreshPolicy, geo.Channels)
+		pols = make([]*pacram.Policy, geo.Channels)
+		for ch := range policies {
+			pol := pacram.NewPolicy(*opt.PaCRAM, channelBanks, geo.Rows)
+			pols[ch] = pol
+			if opt.PeriodicExtension {
+				policies[ch] = pacram.NewPeriodicPolicy(pol)
+			} else {
+				policies[ch] = pol
+			}
 		}
 	}
 
-	var mitig memsys.Mitigation
+	var mitigs []memsys.Mitigation
 	if opt.Mitigation != "" && opt.Mitigation != "None" {
-		mcfg := mitigation.Config{
-			NRH:         nrh,
-			Rows:        opt.MemCfg.Geometry.Rows,
-			Banks:       opt.MemCfg.Geometry.TotalBanks(),
-			BlastRadius: opt.MemCfg.BlastRadius,
-			WindowActs:  int(opt.MemCfg.Timing.TREFW / opt.MemCfg.Timing.TRC()),
-			Seed:        opt.Seed,
-		}
-		var err error
-		mitig, err = mitigation.New(opt.Mitigation, mcfg)
-		if err != nil {
-			return Result{}, err
+		mitigs = make([]memsys.Mitigation, geo.Channels)
+		for ch := range mitigs {
+			mcfg := mitigation.Config{
+				NRH:         nrh,
+				Rows:        geo.Rows,
+				Banks:       channelBanks,
+				BlastRadius: opt.MemCfg.BlastRadius,
+				WindowActs:  int(opt.MemCfg.Timing.TREFW / opt.MemCfg.Timing.TRC()),
+				Seed:        ChannelSeed(opt.Seed, ch),
+			}
+			var err error
+			mitigs[ch], err = mitigation.New(opt.Mitigation, mcfg)
+			if err != nil {
+				return Result{}, err
+			}
 		}
 	}
 
-	ctrl, err := memsys.NewController(opt.MemCfg, mitig, policy)
+	ctrl, err := memsys.NewSystem(opt.MemCfg, mitigs, policies)
 	if err != nil {
 		return Result{}, err
 	}
@@ -213,6 +240,7 @@ func Run(opt Options) (Result, error) {
 		}
 	}
 	baseStats := ctrl.Stats()
+	baseChannelStats := ctrl.ChannelStats()
 	baseCycle := ctrl.Cycle()
 	baseRetired := make([]uint64, len(cores))
 	for i, c := range cores {
@@ -252,13 +280,36 @@ func Run(opt Options) (Result, error) {
 	}
 	res.Stats = subStats(ctrl.Stats(), baseStats)
 	res.Stats.Cycles = res.Cycles
-	res.PrevRefBusyFraction = res.Stats.PrevRefBusyFraction(opt.MemCfg.Geometry.TotalBanks())
+	if geo.Channels > 1 {
+		res.ChannelStats = make([]memsys.Stats, geo.Channels)
+		for ch, st := range ctrl.ChannelStats() {
+			res.ChannelStats[ch] = subStats(st, baseChannelStats[ch])
+			res.ChannelStats[ch].Cycles = res.Cycles
+		}
+	}
+	res.PrevRefBusyFraction = res.Stats.PrevRefBusyFraction(geo.TotalBanks())
 	res.Energy = energy.Default().Compute(res.Stats, opt.MemCfg.Timing, opt.MemCfg.CPUFreqGHz,
-		opt.MemCfg.Geometry.Channels*opt.MemCfg.Geometry.Ranks)
-	if pol != nil {
-		res.PartialFraction = pol.PartialFraction()
+		geo.Channels*geo.Ranks)
+	if pols != nil {
+		var full, part uint64
+		for _, p := range pols {
+			full += p.FullRefreshes
+			part += p.PartialRefreshes
+		}
+		if tot := full + part; tot > 0 {
+			res.PartialFraction = float64(part) / float64(tot)
+		}
 	}
 	return res, nil
+}
+
+// ChannelSeed is the per-channel mitigation seed Run derives from the
+// run seed: channel ch's mechanism instance is seeded with
+// ChannelSeed(opt.Seed, ch). Channel 0 uses the base seed unchanged,
+// which keeps single-channel results byte-identical to the
+// pre-multi-channel engine.
+func ChannelSeed(base uint64, ch int) uint64 {
+	return base + uint64(ch)*0xB5AD4ECEDA1CE2A9
 }
 
 // WorkloadSeed is the per-core generator seed Run derives from the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"pacram/internal/chips"
@@ -413,6 +414,87 @@ func (a *attackDriver) tick() {
 		}
 		a.issued++
 		a.next = nil
+	}
+}
+
+// TestMultiChannelEndToEnd: a 2-channel run completes, reports
+// per-channel statistics whose counters sum to the system totals, and
+// spreads traffic over both channels. The single-channel Result keeps
+// ChannelStats nil (its JSON shape — and thus the runner cache — is
+// unchanged from the single-channel engine).
+func TestMultiChannelEndToEnd(t *testing.T) {
+	mix := trace.Mixes()[0]
+	run := func(channels int) Result {
+		opt := DefaultOptions(mix.Specs[:]...)
+		opt.MemCfg = SmallMemConfig()
+		opt.MemCfg.Geometry.Channels = channels
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		opt.Mitigation = "Graphene"
+		opt.NRH = 128
+		res, err := Run(opt)
+		if err != nil {
+			t.Fatalf("channels=%d: %v", channels, err)
+		}
+		return res
+	}
+
+	single := run(1)
+	if single.ChannelStats != nil {
+		t.Fatalf("single-channel result must not carry ChannelStats, got %d entries", len(single.ChannelStats))
+	}
+
+	dual := run(2)
+	if len(dual.ChannelStats) != 2 {
+		t.Fatalf("dual-channel result has %d channel snapshots, want 2", len(dual.ChannelStats))
+	}
+	var sum memsys.Stats
+	for ch, st := range dual.ChannelStats {
+		if st.Reads == 0 || st.Acts == 0 {
+			t.Fatalf("channel %d saw no traffic: %+v", ch, st)
+		}
+		if st.Cycles != dual.Cycles {
+			t.Fatalf("channel %d cycles %d != interval %d", ch, st.Cycles, dual.Cycles)
+		}
+		sum.Acts += st.Acts
+		sum.Pres += st.Pres
+		sum.Reads += st.Reads
+		sum.Writes += st.Writes
+		sum.Refs += st.Refs
+		sum.VRRs += st.VRRs
+		sum.DemandBusy += st.DemandBusy
+		sum.RefBusy += st.RefBusy
+		sum.PrevRefBusy += st.PrevRefBusy
+		sum.ReadLatencySum += st.ReadLatencySum
+		sum.ReadCount += st.ReadCount
+	}
+	got := dual.Stats
+	if sum.Acts != got.Acts || sum.Pres != got.Pres || sum.Reads != got.Reads ||
+		sum.Writes != got.Writes || sum.Refs != got.Refs || sum.VRRs != got.VRRs ||
+		sum.DemandBusy != got.DemandBusy || sum.RefBusy != got.RefBusy ||
+		sum.PrevRefBusy != got.PrevRefBusy || sum.ReadLatencySum != got.ReadLatencySum ||
+		sum.ReadCount != got.ReadCount {
+		t.Fatalf("per-channel stats do not sum to system totals:\nsum:    %+v\nsystem: %+v", sum, got)
+	}
+
+	// Doubling memory bandwidth must not hurt a four-core workload.
+	if dual.SumIPC() < single.SumIPC()*0.99 {
+		t.Fatalf("2 channels slower than 1: SumIPC %.4f vs %.4f", dual.SumIPC(), single.SumIPC())
+	}
+}
+
+// TestPolicyOverrideRejectsMultiChannel: explicit Options.Policy
+// instances carry per-bank state for one channel; Run must reject the
+// combination rather than silently alias state across channels.
+func TestPolicyOverrideRejectsMultiChannel(t *testing.T) {
+	spec, _ := trace.SpecByName("429.mcf")
+	opt := DefaultOptions(spec)
+	opt.MemCfg = SmallMemConfig()
+	opt.MemCfg.Geometry.Channels = 2
+	opt.Instructions = 1_000
+	_, err := RunWithPolicy(opt, memsys.NominalPolicy{TRASNs: 32})
+	if err == nil || !strings.Contains(err.Error(), "single-channel") {
+		t.Fatalf("expected a single-channel policy error, got %v", err)
 	}
 }
 

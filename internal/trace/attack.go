@@ -21,11 +21,15 @@ type AttackSpec struct {
 	Sides int
 	// StrideBytes is the spacing between consecutive aggressor
 	// addresses. The default 256KB advances the row index by one
-	// within a single bank under the paper's MOP address mapping
-	// (row bits sit above offset+column+rank+bank-group+bank bits =
-	// 18), so consecutive aggressors are same-bank row conflicts —
-	// the pattern RowHammer needs. Aggressors sit at even multiples
-	// of the stride so victims fall between them.
+	// within a single bank under the paper's SINGLE-CHANNEL MOP
+	// address mapping (row bits sit above offset+column+rank+
+	// bank-group+bank bits = 18), so consecutive aggressors are
+	// same-bank row conflicts — the pattern RowHammer needs. The row
+	// stride doubles with each channel doubling (the channel bits sit
+	// below the row bits), so multi-channel callers must pass the
+	// target mapping's ddr.Mapper.RowStrideBytes() explicitly; the
+	// scenario compiler does this for unset strides. Aggressors sit
+	// at even multiples of the stride so victims fall between them.
 	StrideBytes int
 	// Bubbles is the fixed non-memory instruction count between
 	// accesses (0 = hammer at full speed).
