@@ -1,0 +1,115 @@
+// Command pacramd is the sweep service daemon: a long-running HTTP
+// server that accepts scenario submissions (built-in catalog names or
+// inline JSON specs), executes them on one shared bounded worker pool
+// with one shared content-addressed result store, and serves job
+// status, per-cell progress (SSE) and finished metric tables in the
+// exact bytes the scenario CLI emits. Identical cells across
+// concurrent submissions — shared baselines above all — are simulated
+// exactly once.
+//
+// Usage:
+//
+//	pacramd [-addr :8793] [-parallel N] [-cache DIR] [-drain-timeout 2m]
+//
+// The HTTP API is documented in the top-level README; cmd/scenario's
+// -remote flag is the reference client:
+//
+//	pacramd -cache /var/cache/pacram &
+//	scenario run fig17 -remote http://localhost:8793
+//
+// On SIGINT/SIGTERM the server drains: new submissions are rejected
+// with 503 while running jobs finish (bounded by -drain-timeout), then
+// the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pacram/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8793", "listen address")
+		parallel     = flag.Int("parallel", 0, "shared worker pool size across all jobs (0 = all CPUs)")
+		cacheDir     = flag.String("cache", "", "result store directory (default: a private temp dir)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for running jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *parallel, *cacheDir, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, parallel int, cacheDir string, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "pacramd: ", log.LstdFlags)
+	srv, err := service.New(service.Config{
+		Workers:  parallel,
+		CacheDir: cacheDir,
+		Logf:     logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers: %d, store: %s)", addr, srv.Workers(), srv.StoreDir())
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		logger.Printf("received %s, draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if drainErr != nil {
+		logger.Printf("%v", drainErr)
+	}
+	// The drain may have consumed its whole budget; in-flight HTTP
+	// responses (a table fetch, an SSE subscriber) still get their own
+	// grace window to complete.
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutdownCancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && drainErr == nil {
+		return fmt.Errorf("shutdown: %w", err)
+	} else if err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && drainErr == nil {
+		return err
+	}
+	if drainErr == nil {
+		// Drained clean: a private temp store has no further use. An
+		// abandoned drain skips this — its jobs still write there.
+		if err := srv.Close(); err != nil {
+			logger.Printf("removing result store: %v", err)
+		}
+	}
+	// A timed-out drain abandoned running jobs; exit nonzero with that
+	// as the cause — it subsumes any secondary shutdown timeout (an
+	// SSE subscriber to an abandoned job keeps its handler open).
+	return drainErr
+}

@@ -75,7 +75,11 @@ func fullFingerprint(fingerprint string) string {
 	return fingerprint + "\x1fbuild=" + buildID()
 }
 
-func (c *Cache) hash(fingerprint string, seed uint64, key string) string {
+// hashCell is the content address of one cell: the full fingerprint
+// (caller's plus build identity), the base seed and the job key. It is
+// shared by the disk store and the Pool's in-flight deduplication, so
+// the two stay aligned on what "the same cell" means.
+func hashCell(fingerprint string, seed uint64, key string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x1f%d\x1f%s", fullFingerprint(fingerprint), seed, key)
 	return hex.EncodeToString(h.Sum(nil))[:40]

@@ -55,4 +55,19 @@
 // in-flight jobs drain, and Run returns the failed job's error
 // (lowest job index wins when several fail, keeping the reported
 // error deterministic too).
+//
+// # Shared pools and coalescing
+//
+// Run executes on a transient pool private to the call. Long-lived
+// callers — the sweep service above all — construct one Pool and
+// route every Run invocation through it: the pool's slot count then
+// bounds actual computation across all concurrent invocations, and
+// identical cells asked for by overlapping invocations are computed
+// once ("singleflight" on the cell's content address, the same hash
+// the disk cache uses). With a shared Cache the guarantee is strict:
+// the flight owner stores its result before releasing waiters, so a
+// cell is computed at most once per (store, build) no matter how many
+// overlapping sweeps arrive concurrently. Options.OnEvent streams one
+// Event per finished cell — computed, cached or coalesced — which is
+// what the service forwards to clients over SSE.
 package runner

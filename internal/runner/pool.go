@@ -1,0 +1,280 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Event describes one finished cell of a Run invocation, for callers
+// that stream per-cell progress (the sweep service forwards these over
+// SSE). Exactly one of the three outcomes holds per event: the cell
+// was computed here, served from the disk store (Cached), or picked up
+// from a concurrent computation of the same cell (Coalesced).
+type Event struct {
+	// Key is the finished job's matrix key.
+	Key string
+	// Cached marks a result served from the disk store without
+	// computing.
+	Cached bool
+	// Coalesced marks a result adopted from another in-flight
+	// computation of the same cell — the pool was already executing it
+	// for a concurrent Run invocation when this one asked.
+	Coalesced bool
+	// Err is the job's failure, nil on success.
+	Err error
+	// Done counts this Run invocation's finished jobs, Total its
+	// planned jobs. Done is unique and dense per invocation (1..Total)
+	// even though events arrive concurrently.
+	Done, Total int
+}
+
+// flight is one in-progress computation of a cell, shared by every
+// Run invocation that asks for the same cell hash while it runs.
+type flight[T any] struct {
+	done   chan struct{} // closed once res/err are set
+	res    T
+	err    error
+	cached bool // the owner served it from the disk store, not compute
+}
+
+// Pool is a long-lived bounded worker pool shared across concurrent
+// Run invocations: the sweep service routes every submission through
+// one Pool so the machine runs at most Workers simulation cells at
+// once, no matter how many sweeps are in flight.
+//
+// The Pool also deduplicates identical cells across concurrent
+// invocations ("singleflight"): cells are content-addressed by the
+// same hash the disk store uses (fingerprint + seed + job key), the
+// first invocation to ask for a cell computes it, and every
+// invocation that asks while it runs waits for that one computation
+// instead of starting its own. Combined with a shared Options.Cache —
+// the owner stores its result before releasing waiters and
+// deregistering the flight — a cell is computed at most once per
+// (store, build) no matter how many overlapping sweeps are submitted
+// concurrently. Without a cache, deduplication still applies to
+// cells whose computations overlap in time.
+//
+// Results handed to coalesced waiters alias the owner's value;
+// callers must treat results as immutable (all result types in this
+// repository are).
+type Pool[T any] struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	flights  map[string]*flight[T]
+	computes map[string]int // per job key; nil unless tracking is on
+}
+
+// NewPool sizes a pool; workers <= 0 means runtime.NumCPU().
+func NewPool[T any](workers int) *Pool[T] {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool[T]{
+		slots:   make(chan struct{}, workers),
+		flights: make(map[string]*flight[T]),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool[T]) Workers() int { return cap(p.slots) }
+
+// TrackComputeCounts turns on per-key compute accounting. It is test
+// instrumentation, off by default: a long-lived pool would otherwise
+// accumulate one map entry per distinct cell ever computed.
+func (p *Pool[T]) TrackComputeCounts() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.computes == nil {
+		p.computes = make(map[string]int)
+	}
+}
+
+// ComputeCounts returns how many times each job key was actually
+// computed (cache hits and coalesced waits excluded), keyed by job
+// key; nil unless TrackComputeCounts was called first. With
+// content-addressed keys and a shared cache, every count is 1; the
+// coalescing tests assert exactly that.
+func (p *Pool[T]) ComputeCounts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.computes == nil {
+		return nil
+	}
+	out := make(map[string]int, len(p.computes))
+	for k, v := range p.computes {
+		out[k] = v
+	}
+	return out
+}
+
+// Run executes the jobs on the pool and returns the results keyed by
+// job key. It is safe to call concurrently from multiple goroutines;
+// Options.Workers is ignored (the pool's bound governs). Each
+// invocation dispatches its jobs in index order and drains in-flight
+// jobs on failure, so the determinism, caching and failure guarantees
+// of top-level Run hold unchanged — results are bit-identical whether
+// a cell was computed, cached, or coalesced. Only actual computation
+// occupies a pool slot: an invocation waiting on the disk store or on
+// another invocation's in-flight cell consumes no capacity.
+func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" || j.Run == nil {
+			return nil, fmt.Errorf("runner: job with empty key or nil func")
+		}
+		if seen[j.Key] {
+			return nil, fmt.Errorf("runner: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+
+	workers := cap(p.slots)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	prog := newProgress(opt.Progress, opt.Label, len(jobs))
+
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		once      sync.Once
+		feed      = make(chan int)
+		storeWarn sync.Once
+		doneCount atomic.Int64
+	)
+	fail := func() { once.Do(func() { close(stop) }) }
+	// Caching is an optimization: a failed store (disk full, permission
+	// lost mid-run) must not discard a computed result or abort the
+	// sweep. Warn once and keep going uncached.
+	warnStore := func(key string, err error) {
+		storeWarn.Do(func() {
+			switch {
+			case opt.Warnf != nil:
+				opt.Warnf("runner: warning: cannot cache %s (continuing uncached): %v", key, err)
+			case opt.Progress != nil:
+				fmt.Fprintf(opt.Progress, "\nrunner: warning: cannot cache %s (continuing uncached): %v\n", key, err)
+			}
+		})
+	}
+	emit := func(ev Event) {
+		ev.Done = int(doneCount.Add(1))
+		ev.Total = len(jobs)
+		if ev.Err == nil {
+			prog.step(ev.Cached || ev.Coalesced)
+		}
+		if opt.OnEvent != nil {
+			opt.OnEvent(ev)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				j := jobs[i]
+				hash := hashCell(opt.Fingerprint, opt.Seed, j.Key)
+
+				// Atomic check-or-register: either adopt the in-flight
+				// computation of this cell, or become its owner.
+				p.mu.Lock()
+				if f, ok := p.flights[hash]; ok {
+					p.mu.Unlock()
+					<-f.done
+					if f.err != nil {
+						errs[i] = f.err
+						fail()
+					} else {
+						results[i] = f.res
+					}
+					// An owner that merely loaded the cell from the
+					// store didn't compute anything to coalesce onto;
+					// report those waiters as cache hits.
+					emit(Event{Key: j.Key, Cached: f.cached, Coalesced: !f.cached, Err: f.err})
+					continue
+				}
+				f := &flight[T]{done: make(chan struct{})}
+				p.flights[hash] = f
+				p.mu.Unlock()
+
+				// Owner path. The flight is deregistered only after the
+				// result is in the disk store, so at every instant a
+				// cell is findable either in flight or in the store —
+				// the gap that would let a concurrent submission
+				// recompute it never opens (short of a store failure,
+				// which degrades to duplicated work, never to
+				// corruption).
+				finish := func(res T, err error) {
+					f.res, f.err = res, err
+					p.mu.Lock()
+					delete(p.flights, hash)
+					p.mu.Unlock()
+					close(f.done)
+				}
+
+				if opt.Cache != nil && opt.Cache.load(hash, opt.Fingerprint, j.Key, &results[i]) {
+					f.cached = true
+					finish(results[i], nil)
+					emit(Event{Key: j.Key, Cached: true})
+					continue
+				}
+
+				p.slots <- struct{}{}
+				res, err := j.Run(Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)})
+				<-p.slots
+				p.mu.Lock()
+				if p.computes != nil {
+					p.computes[j.Key]++
+				}
+				p.mu.Unlock()
+
+				if err != nil {
+					errs[i] = err
+					fail()
+					finish(res, err)
+					emit(Event{Key: j.Key, Err: err})
+					continue
+				}
+				results[i] = res
+				if opt.Cache != nil {
+					if serr := opt.Cache.store(hash, opt.Fingerprint, j.Key, res); serr != nil {
+						warnStore(j.Key, serr)
+					}
+				}
+				finish(res, nil)
+				emit(Event{Key: j.Key})
+			}
+		}()
+	}
+
+	// Dispatch until done or a job fails; then drain.
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog.finish()
+
+	out := make(map[string]T, len(jobs))
+	for i, j := range jobs {
+		out[j.Key] = results[i]
+	}
+	return out, nil
+}

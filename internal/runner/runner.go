@@ -1,11 +1,8 @@
 package runner
 
 import (
-	"fmt"
 	"hash/fnv"
 	"io"
-	"runtime"
-	"sync"
 
 	"pacram/internal/xrand"
 )
@@ -46,6 +43,16 @@ type Options struct {
 	Progress io.Writer
 	// Label prefixes progress output.
 	Label string
+	// OnEvent, when non-nil, receives one Event per finished cell
+	// (computed, cached or coalesced — including failures). It is
+	// called from worker goroutines, possibly concurrently; it must be
+	// safe for concurrent use and return quickly.
+	OnEvent func(Event)
+	// Warnf, when non-nil, receives non-fatal degradation warnings (a
+	// failing result store above all) instead of Progress; a headless
+	// caller like the sweep service points this at its logger so
+	// operators see when exactly-once degrades to recompute.
+	Warnf func(format string, args ...any)
 }
 
 // WithCacheDir returns a copy of the options with the cache opened at
@@ -102,112 +109,10 @@ func JobSeed(base uint64, key string) uint64 {
 	return xrand.Derive(base, h.Sum64()).Uint64()
 }
 
-// Run executes the jobs over the worker pool and returns the results
-// keyed by job key. See the package documentation for the determinism,
-// caching and failure guarantees.
+// Run executes the jobs over a transient worker pool and returns the
+// results keyed by job key. See the package documentation for the
+// determinism, caching and failure guarantees; long-lived callers
+// that want cross-invocation coalescing construct a Pool instead.
 func Run[T any](opt Options, jobs []Job[T]) (map[string]T, error) {
-	seen := make(map[string]bool, len(jobs))
-	for _, j := range jobs {
-		if j.Key == "" || j.Run == nil {
-			return nil, fmt.Errorf("runner: job with empty key or nil func")
-		}
-		if seen[j.Key] {
-			return nil, fmt.Errorf("runner: duplicate job key %q", j.Key)
-		}
-		seen[j.Key] = true
-	}
-
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	results := make([]T, len(jobs))
-	errs := make([]error, len(jobs))
-	prog := newProgress(opt.Progress, opt.Label, len(jobs))
-
-	var (
-		wg        sync.WaitGroup
-		stop      = make(chan struct{})
-		once      sync.Once
-		feed      = make(chan int)
-		storeWarn sync.Once
-	)
-	fail := func() { once.Do(func() { close(stop) }) }
-	// Caching is an optimization: a failed store (disk full, permission
-	// lost mid-run) must not discard a computed result or abort the
-	// sweep. Warn once and keep going uncached.
-	warnStore := func(key string, err error) {
-		storeWarn.Do(func() {
-			if opt.Progress != nil {
-				fmt.Fprintf(opt.Progress, "\nrunner: warning: cannot cache %s (continuing uncached): %v\n", key, err)
-			}
-		})
-	}
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				j := jobs[i]
-				ctx := Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)}
-				if opt.Cache != nil {
-					hash := opt.Cache.hash(opt.Fingerprint, opt.Seed, j.Key)
-					if ok := opt.Cache.load(hash, opt.Fingerprint, j.Key, &results[i]); ok {
-						prog.step(true)
-						continue
-					}
-					res, err := j.Run(ctx)
-					if err != nil {
-						errs[i] = err
-						fail()
-						continue
-					}
-					results[i] = res
-					if err := opt.Cache.store(hash, opt.Fingerprint, j.Key, res); err != nil {
-						warnStore(j.Key, err)
-					}
-					prog.step(false)
-					continue
-				}
-				res, err := j.Run(ctx)
-				if err != nil {
-					errs[i] = err
-					fail()
-					continue
-				}
-				results[i] = res
-				prog.step(false)
-			}
-		}()
-	}
-
-	// Dispatch until done or a job fails; then drain.
-dispatch:
-	for i := range jobs {
-		select {
-		case feed <- i:
-		case <-stop:
-			break dispatch
-		}
-	}
-	close(feed)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	prog.finish()
-
-	out := make(map[string]T, len(jobs))
-	for i, j := range jobs {
-		out[j.Key] = results[i]
-	}
-	return out, nil
+	return NewPool[T](opt.Workers).Run(opt, jobs)
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -139,6 +140,22 @@ func TestStoreFailureDegradesToWarning(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "cannot cache") {
 		t.Fatalf("missing store warning in %q", buf.String())
+	}
+
+	// A Warnf hook (the sweep service's logger) takes precedence over
+	// Progress, so headless callers see the degradation too.
+	var warned string
+	var mu sync.Mutex
+	_, err = Run(Options{Workers: 2, Seed: 42, Cache: cache, Warnf: func(format string, args ...any) {
+		mu.Lock()
+		warned = fmt.Sprintf(format, args...)
+		mu.Unlock()
+	}}, testJobs(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warned, "cannot cache") {
+		t.Fatalf("Warnf not invoked on store failure: %q", warned)
 	}
 }
 

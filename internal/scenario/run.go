@@ -26,6 +26,21 @@ type RunOptions struct {
 	// Progress, when non-nil, receives streaming progress and ETA
 	// lines (typically os.Stderr).
 	Progress io.Writer
+	// Pool, when non-nil, executes the cells on a shared long-lived
+	// worker pool instead of a transient one: the pool's slot count
+	// governs (Parallel is ignored) and identical cells asked for by
+	// concurrent executions are computed once. The sweep service runs
+	// every submission this way.
+	Pool *runner.Pool[sim.Result]
+	// Cache, when non-nil, is a pre-opened shared result store; it
+	// takes precedence over CacheDir.
+	Cache *runner.Cache
+	// OnEvent, when non-nil, receives one event per finished cell
+	// (see runner.Event). Must be safe for concurrent use.
+	OnEvent func(runner.Event)
+	// Warnf, when non-nil, receives non-fatal degradation warnings
+	// (see runner.Options.Warnf).
+	Warnf func(format string, args ...any)
 }
 
 // Run compiles and executes a spec in one call.
@@ -39,7 +54,7 @@ func Run(s *Spec, opt RunOptions) (*exp.Table, error) {
 
 // Run executes the plan's job matrix and assembles the output table.
 func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
-	ropt, err := runner.Options{
+	ropt := runner.Options{
 		Workers: opt.Parallel,
 		// Cells ignore Ctx.Seed (each carries its resolved seed in its
 		// key), so the engine seed is pinned to 0: mixing the spec
@@ -51,11 +66,23 @@ func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
 		Fingerprint: "scenario:v1",
 		Progress:    opt.Progress,
 		Label:       p.Spec.Name,
-	}.WithCacheDir(opt.CacheDir)
-	if err != nil {
-		return nil, err
+		Cache:       opt.Cache,
+		OnEvent:     opt.OnEvent,
+		Warnf:       opt.Warnf,
 	}
-	results, err := runner.Run(ropt, p.matrix.Jobs())
+	if ropt.Cache == nil {
+		var err error
+		if ropt, err = ropt.WithCacheDir(opt.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	var results map[string]sim.Result
+	var err error
+	if opt.Pool != nil {
+		results, err = opt.Pool.Run(ropt, p.matrix.Jobs())
+	} else {
+		results, err = runner.Run(ropt, p.matrix.Jobs())
+	}
 	if err != nil {
 		return nil, err
 	}

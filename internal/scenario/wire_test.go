@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"pacram/internal/runner"
+	"pacram/internal/sim"
+)
+
+// TestSpecWireRoundTrip proves specs survive the wire: remote
+// submission marshals a parsed Spec back to JSON and the server
+// re-parses it, so marshal→parse must reproduce the exact compiled
+// plan — same cells, same content-addressed keys, same row count —
+// for every built-in and example spec. A field dropped or renamed in
+// (de)serialization would shift a cell key and break the remote/local
+// byte-identity guarantee.
+func TestSpecWireRoundTrip(t *testing.T) {
+	specs, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found")
+	}
+	for _, path := range paths {
+		s, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+
+	for _, s := range specs {
+		t.Run(s.Name, func(t *testing.T) {
+			orig, err := s.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(data)
+			if err != nil {
+				t.Fatalf("re-parsing marshaled spec: %v\n%s", err, data)
+			}
+			rt, err := back.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Rows() != orig.Rows() || rt.Jobs() != orig.Jobs() {
+				t.Fatalf("round trip changed shape: %d rows/%d jobs -> %d rows/%d jobs",
+					orig.Rows(), orig.Jobs(), rt.Rows(), rt.Jobs())
+			}
+			a, b := orig.Cells(), rt.Cells()
+			for i := range a {
+				if a[i].Key != b[i].Key {
+					t.Fatalf("cell %d key changed across the wire:\n  local:  %s\n  remote: %s", i, a[i].Key, b[i].Key)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecWireRoundTripToleratesOptionalSections pins the wire format
+// for partially-populated specs: zero-valued optional sections must
+// marshal away (not as empty objects the strict parser would still
+// accept but a human diffing wire payloads would trip over).
+func TestSpecWireRoundTripToleratesOptionalSections(t *testing.T) {
+	s := &Spec{
+		Name: "wire-minimal",
+		Sim:  SimParams{Instructions: 1000},
+		Workloads: []Group{{Name: "g", Members: []Member{
+			{Cores: []CoreSpec{{Synthetic: &SyntheticSpec{Name: "s", Pattern: "stream", BubbleMean: 10, FootprintMB: 1, BurstLen: 4}}}},
+		}}},
+		Columns: []Column{{Name: "ipc", Group: "g", Metric: "sumIPC"}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"table", "memory", "baseline", "sweep", "config", "pacram"} {
+		if jsonHasField(t, data, absent) {
+			t.Errorf("zero-valued %q section marshaled into the wire payload: %s", absent, data)
+		}
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func jsonHasField(t *testing.T, data []byte, field string) bool {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[field]
+	return ok
+}
+
+// TestRunOnSharedPool runs one catalog scenario through a shared pool
+// + pre-opened cache — the service path — and byte-compares the table
+// against the default transient-runner path.
+func TestRunOnSharedPool(t *testing.T) {
+	s, err := ByName("refresh-stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Run(s, RunOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := runner.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Run(s, RunOptions{Pool: runner.NewPool[sim.Result](4), Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderTable(t, pooled), renderTable(t, local); got != want {
+		t.Fatalf("pooled run differs from local run:\n--- pooled ---\n%s--- local ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,588 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacram/internal/exp"
+	"pacram/internal/runner"
+	"pacram/internal/scenario"
+	"pacram/internal/sim"
+)
+
+// renderTable and renderCSV produce the byte-exact artifacts the CLI
+// emits for a table; remote output byte-matching local runs hinges on
+// both sides calling the same renderers.
+func renderTable(tbl *exp.Table) []byte {
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	return buf.Bytes()
+}
+
+func renderCSV(tbl *exp.Table) []byte {
+	var buf bytes.Buffer
+	tbl.WriteCSV(&buf)
+	return buf.Bytes()
+}
+
+// Config sizes a server.
+type Config struct {
+	// Workers bounds the shared simulation pool (<= 0: all CPUs). The
+	// bound governs total cell concurrency across all jobs.
+	Workers int
+	// CacheDir locates the shared result store. Empty creates a
+	// private temporary directory: the store is what makes cross-job
+	// deduplication exact, so the server always has one.
+	CacheDir string
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (submission, completion, drain).
+	Logf func(format string, args ...any)
+	// RetainJobs caps how many finished jobs (with their event
+	// histories and rendered artifacts) stay fetchable; once exceeded,
+	// the oldest finished jobs are evicted on new submissions. Running
+	// jobs are never evicted. <= 0 means the default of 256.
+	RetainJobs int
+}
+
+const defaultRetainJobs = 256
+
+// Server executes scenario submissions on one shared pool and result
+// store. Construct with New, expose via Handler, stop via Drain (and
+// Close, when the store was private).
+type Server struct {
+	pool *runner.Pool[sim.Result]
+	// cache is the shared result store; privateStore marks one the
+	// server created itself (a temp dir) and therefore owns.
+	cache        *runner.Cache
+	privateStore bool
+	logf         func(string, ...any)
+	mux          *http.ServeMux
+
+	draining atomic.Bool
+	running  sync.WaitGroup // one count per executing job
+
+	// catalog is compiled once at construction: the built-in entries
+	// are static per build, and both the catalog endpoint and remote
+	// no-arg validation hit them repeatedly.
+	catalog []CatalogEntry
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+	retain int
+}
+
+// job is one submission's lifecycle. Progress fields are guarded by
+// mu; a broadcast channel is swapped on every update so SSE
+// subscribers wake without polling.
+type job struct {
+	id       string
+	scenario string
+	total    int
+	rows     int
+
+	mu        sync.Mutex
+	changed   chan struct{}
+	state     string
+	events    []CellEvent
+	done      int
+	cached    int
+	coalesced int
+	errMsg    string
+	tableID   string
+	tableText []byte
+	csvText   []byte
+	submitted time.Time
+	finished  time.Time
+}
+
+// New builds a server. The returned server owns its pool and store
+// for its lifetime; callers running multiple servers in one process
+// (tests) get fully isolated instances.
+func New(cfg Config) (*Server, error) {
+	dir, private := cfg.CacheDir, false
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pacramd-store-")
+		if err != nil {
+			return nil, fmt.Errorf("service: creating result store: %w", err)
+		}
+		dir, private = tmp, true
+	}
+	cache, err := runner.NewCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		pool:         runner.NewPool[sim.Result](cfg.Workers),
+		cache:        cache,
+		privateStore: private,
+		logf:         cfg.Logf,
+		jobs:         make(map[string]*job),
+		retain:       cfg.RetainJobs,
+	}
+	if s.retain <= 0 {
+		s.retain = defaultRetainJobs
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+
+	specs, err := scenario.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		p, err := sp.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("service: built-in scenario %s: %w", sp.Name, err)
+		}
+		s.catalog = append(s.catalog, CatalogEntry{
+			Name:        sp.Name,
+			Description: sp.Description,
+			Cells:       p.Jobs(),
+			Rows:        p.Rows(),
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+pathHealth, s.handleHealth)
+	mux.HandleFunc("GET "+pathCatalog, s.handleCatalog)
+	mux.HandleFunc("GET "+pathMetrics, s.handleMetrics)
+	mux.HandleFunc("POST "+pathValidate, s.handleValidate)
+	mux.HandleFunc("POST "+pathJobs, s.handleSubmit)
+	mux.HandleFunc("GET "+pathJobs, s.handleList)
+	mux.HandleFunc("GET "+pathJobs+"/{id}", s.handleStatus)
+	mux.HandleFunc("GET "+pathJobs+"/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET "+pathJobs+"/{id}/table", s.handleTable)
+	mux.HandleFunc("GET "+pathJobs+"/{id}/csv", s.handleCSV)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StoreDir returns the shared result store's directory.
+func (s *Server) StoreDir() string { return s.cache.Dir() }
+
+// Workers returns the shared pool's effective concurrency bound.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Close removes the result store if the server created it (no
+// CacheDir configured); an operator-provided store is left alone.
+// Call only after a successful Drain: running jobs still write to the
+// store.
+func (s *Server) Close() error {
+	if !s.privateStore {
+		return nil
+	}
+	return os.RemoveAll(s.cache.Dir())
+}
+
+// Drain stops accepting new submissions (503) and waits for running
+// jobs to finish, or for ctx to expire. Already-accepted jobs always
+// run to completion within the process; Drain only reports whether
+// they finished in time.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logf("draining: no longer accepting submissions")
+	}
+	// Barrier: a submission that passed its drain re-check holds s.mu
+	// until it has registered with the WaitGroup; acquiring the lock
+	// once here means every admitted job is counted before Wait and
+	// every later submission sees the flag.
+	s.mu.Lock()
+	//lint:ignore SA2001 the critical section is the barrier
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		s.logf("drained: all jobs finished")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted with jobs still running: %w", ctx.Err())
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, Error{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.catalog)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, scenario.MetricDocs())
+}
+
+// resolveSpec turns a SubmitRequest into a compiled plan, classifying
+// failures: client errors (bad request shape, unknown name, invalid
+// spec) map to 4xx.
+func resolveSpec(req SubmitRequest) (*scenario.Spec, *scenario.Plan, int, error) {
+	var sp *scenario.Spec
+	var err error
+	switch {
+	case req.Scenario != "" && len(req.Spec) > 0:
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("give either scenario or spec, not both")
+	case req.Scenario != "":
+		if sp, err = scenario.ByName(req.Scenario); err != nil {
+			return nil, nil, http.StatusNotFound, err
+		}
+	case len(req.Spec) > 0:
+		if sp, err = scenario.Parse(req.Spec); err != nil {
+			return nil, nil, http.StatusUnprocessableEntity, err
+		}
+	default:
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("give a scenario name or an inline spec")
+	}
+	plan, err := sp.Compile()
+	if err != nil {
+		return nil, nil, http.StatusUnprocessableEntity, err
+	}
+	return sp, plan, http.StatusOK, nil
+}
+
+// maxRequestBytes bounds submission bodies; real specs are a few KB,
+// so 4 MB is generous without letting one request balloon the daemon.
+const maxRequestBytes = 4 << 20
+
+func decodeSubmit(w http.ResponseWriter, r *http.Request) (SubmitRequest, error) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("decoding request body: %v", err)
+	}
+	return req, nil
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeSubmit(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp, plan, status, err := resolveSpec(req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ValidateResponse{Name: sp.Name, Cells: plan.Jobs(), Rows: plan.Rows()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting submissions")
+		return
+	}
+	req, err := decodeSubmit(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp, plan, status, err := resolveSpec(req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	// Re-check under the registry lock so a drain begun between the
+	// fast-path check and here cannot admit a straggler the drain's
+	// WaitGroup never sees.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting submissions")
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		scenario:  sp.Name,
+		total:     plan.Jobs(),
+		rows:      plan.Rows(),
+		changed:   make(chan struct{}),
+		state:     StateRunning,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.running.Add(1)
+	s.mu.Unlock()
+
+	s.logf("%s: accepted %s (%d cells, %d rows)", j.id, j.scenario, j.total, j.rows)
+	go s.execute(j, plan)
+
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// execute runs one job to completion on the shared pool.
+func (s *Server) execute(j *job, plan *scenario.Plan) {
+	defer s.running.Done()
+	tbl, err := plan.Run(scenario.RunOptions{
+		Pool:  s.pool,
+		Cache: s.cache,
+		// A degrading result store must reach the operator's log: it
+		// silently turns exactly-once into recompute-per-submission.
+		Warnf: func(format string, args ...any) {
+			s.logf(j.id+": "+format, args...)
+		},
+		OnEvent: func(ev runner.Event) {
+			ce := CellEvent{
+				Key:       ev.Key,
+				Cached:    ev.Cached,
+				Coalesced: ev.Coalesced,
+				Done:      ev.Done,
+				Total:     ev.Total,
+			}
+			if ev.Err != nil {
+				ce.Error = ev.Err.Error()
+			}
+			j.addEvent(ce)
+		},
+	})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.logf("%s: failed: %v", j.id, err)
+	} else {
+		j.state = StateDone
+		j.tableID = tbl.ID
+		j.tableText = renderTable(tbl)
+		j.csvText = renderCSV(tbl)
+		s.logf("%s: done (%d cells, %d cached, %d coalesced)", j.id, j.total, j.cached, j.coalesced)
+	}
+	j.broadcastLocked()
+}
+
+func (j *job) addEvent(ev CellEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	// Events arrive from concurrent workers, so Done values may appear
+	// out of order; the counter only ever advances.
+	if ev.Done > j.done {
+		j.done = ev.Done
+	}
+	if ev.Cached {
+		j.cached++
+	}
+	if ev.Coalesced {
+		j.coalesced++
+	}
+	j.broadcastLocked()
+}
+
+// broadcastLocked wakes every subscriber waiting on this job; callers
+// hold j.mu.
+func (j *job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// status snapshots the job's public state.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Scenario:    j.scenario,
+		TableID:     j.tableID,
+		State:       j.state,
+		Cells:       j.total,
+		Done:        j.done,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Rows:        j.rows,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339),
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// evictLocked bounds the registry: a long-running daemon retains at
+// most `retain` jobs, dropping the oldest finished ones (event
+// history, table and CSV included) when new submissions arrive.
+// Running jobs are never evicted, so the registry can exceed the cap
+// only by the number of concurrently running jobs. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.retain
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		finished := j.state != StateRunning
+		j.mu.Unlock()
+		if excess > 0 && finished {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams the job's per-cell progress as SSE: one "cell"
+// event per finished cell (history replayed for late subscribers),
+// then one terminal "done" event carrying the final JobStatus.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	next := 0
+	for {
+		j.mu.Lock()
+		events := j.events[next:]
+		terminal := j.state != StateRunning
+		var st JobStatus
+		if terminal {
+			st = j.statusLocked()
+		}
+		changed := j.changed
+		j.mu.Unlock()
+
+		for _, ev := range events {
+			if !writeEvent("cell", ev) {
+				return
+			}
+			next++
+		}
+		if terminal {
+			writeEvent("done", st)
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// finishedArtifact serves one of the job's rendered outputs, guarding
+// the not-finished states uniformly.
+func (s *Server) finishedArtifact(w http.ResponseWriter, r *http.Request, contentType string, pick func(*job) []byte) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	state, errMsg := j.state, j.errMsg
+	data := pick(j)
+	j.mu.Unlock()
+	switch state {
+	case StateRunning:
+		writeError(w, http.StatusConflict, "job %s is still running", j.id)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", j.id, errMsg)
+	default:
+		w.Header().Set("Content-Type", contentType)
+		w.Write(data)
+	}
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	s.finishedArtifact(w, r, "text/plain; charset=utf-8", func(j *job) []byte { return j.tableText })
+}
+
+func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
+	s.finishedArtifact(w, r, "text/csv; charset=utf-8", func(j *job) []byte { return j.csvText })
+}

@@ -1,0 +1,114 @@
+// Package service is the sweep service behind cmd/pacramd: an HTTP
+// API that accepts scenario submissions (built-in catalog names or
+// inline JSON specs), executes them on one shared bounded worker pool
+// with one shared content-addressed result store, and serves job
+// status, per-cell progress (SSE) and finished metric tables in the
+// exact table/CSV bytes the CLI emits.
+//
+// Two submissions sweeping overlapping axes share work structurally:
+// cells are content-addressed (runner.HashKey over the full resolved
+// configuration), in-flight cells are coalesced across jobs
+// (singleflight on the cell hash), and finished cells land in the
+// shared store — so a cell, baselines above all, is simulated at most
+// once per server build no matter how many users ask for it.
+//
+// Determinism carries through unchanged: a table served remotely is
+// byte-identical to the same scenario run locally at any -parallel,
+// which cmd/scenario's -remote mode and the CI smoke job verify.
+package service
+
+import "encoding/json"
+
+// API paths, shared by the server mux and the client.
+const (
+	pathHealth   = "/healthz"
+	pathCatalog  = "/api/v1/catalog"
+	pathMetrics  = "/api/v1/metrics"
+	pathValidate = "/api/v1/validate"
+	pathJobs     = "/api/v1/jobs"
+)
+
+// SubmitRequest asks the server to validate or run one scenario:
+// either a built-in catalog name or an inline spec document, never
+// both.
+type SubmitRequest struct {
+	// Scenario names a built-in catalog entry.
+	Scenario string `json:"scenario,omitempty"`
+	// Spec is an inline scenario document (the same JSON a spec file
+	// holds).
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// CatalogEntry describes one built-in scenario.
+type CatalogEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Cells is the number of distinct simulation cells the scenario
+	// compiles to; Rows the number of output table rows.
+	Cells int `json:"cells"`
+	Rows  int `json:"rows"`
+}
+
+// ValidateResponse reports a validation outcome. On failure the
+// server answers 422 with an Error payload instead.
+type ValidateResponse struct {
+	// Name is the validated scenario's name.
+	Name string `json:"name"`
+	// Cells and Rows describe the compiled plan.
+	Cells int `json:"cells"`
+	Rows  int `json:"rows"`
+}
+
+// Job states.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is one submission's public state.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	// TableID is the output table's ID (the CSV filename stem).
+	TableID string `json:"tableId"`
+	// State is running, done or failed.
+	State string `json:"state"`
+	// Cells is the job's total distinct simulation cells; Done how
+	// many have finished so far. Cached counts cells served from the
+	// result store, Coalesced cells adopted from a concurrent job's
+	// in-flight computation.
+	Cells     int `json:"cells"`
+	Done      int `json:"done"`
+	Cached    int `json:"cached"`
+	Coalesced int `json:"coalesced"`
+	Rows      int `json:"rows"`
+	// Error is the failure message when State is failed.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt/FinishedAt are RFC 3339 timestamps (FinishedAt empty
+	// while running).
+	SubmittedAt string `json:"submittedAt"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
+}
+
+// CellEvent is one per-cell progress event on the SSE stream (event
+// type "cell"). The terminal event (type "done") carries a JobStatus
+// instead.
+type CellEvent struct {
+	// Key is the cell's content-addressed job key.
+	Key string `json:"key"`
+	// Cached and Coalesced classify how the result was obtained; both
+	// false means the cell was simulated for this job.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Error is the cell's failure, if any.
+	Error string `json:"error,omitempty"`
+	// Done counts the job's finished cells, Total its planned cells.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Error is the uniform non-2xx response body.
+type Error struct {
+	Error string `json:"error"`
+}
