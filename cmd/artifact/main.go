@@ -62,7 +62,7 @@ func main() {
 		Seed:        *seed,
 		Fingerprint: fmt.Sprintf("artifact:v1:rows=%d:insts=%d:seed=%d", *rows, *insts, *seed),
 		Progress:    progress,
-	}.WithCacheDir(*cacheDir)
+	}.WithStore(*cacheDir, "")
 	must(err)
 
 	probes, sims := runClaims(ropt, *rows, *insts, *seed)

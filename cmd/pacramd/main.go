@@ -9,13 +9,19 @@
 //
 // Usage:
 //
-//	pacramd [-addr :8793] [-parallel N] [-cache DIR] [-drain-timeout 2m]
+//	pacramd [-addr :8793] [-parallel N] [-cache DIR] [-store URL]
+//	        [-mem-store MB] [-drain-timeout 2m]
 //
 // The HTTP API is documented in the top-level README; cmd/scenario's
 // -remote flag is the reference client:
 //
 //	pacramd -cache /var/cache/pacram &
 //	scenario run fig17 -remote http://localhost:8793
+//
+// Every daemon also doubles as a result-store cache origin
+// (GET/PUT /api/v1/store/{hash}): point another daemon's -store, or a
+// CLI run's -store, at this daemon's base URL to share finished cells
+// across machines and processes of the same build.
 //
 // On SIGINT/SIGTERM the server drains: new submissions are rejected
 // with 503 while running jobs finish (bounded by -drain-timeout), then
@@ -42,21 +48,29 @@ func main() {
 		addr         = flag.String("addr", ":8793", "listen address")
 		parallel     = flag.Int("parallel", 0, "shared worker pool size across all jobs (0 = all CPUs)")
 		cacheDir     = flag.String("cache", "", "result store directory (default: a private temp dir)")
+		storeURL     = flag.String("store", "", "remote result-store origin URL (another pacramd) behind the disk tier")
+		memStoreMB   = flag.Int64("mem-store", 256, "in-memory result-store tier size in MB (0 disables the tier)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for running jobs on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *parallel, *cacheDir, *drainTimeout); err != nil {
+	if err := run(*addr, *parallel, *cacheDir, *storeURL, *memStoreMB, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, parallel int, cacheDir string, drainTimeout time.Duration) error {
+func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64, drainTimeout time.Duration) error {
 	logger := log.New(os.Stderr, "pacramd: ", log.LstdFlags)
+	memBytes := memStoreMB << 20
+	if memStoreMB <= 0 {
+		memBytes = -1 // Config: negative disables the mem tier
+	}
 	srv, err := service.New(service.Config{
-		Workers:  parallel,
-		CacheDir: cacheDir,
-		Logf:     logger.Printf,
+		Workers:       parallel,
+		CacheDir:      cacheDir,
+		StoreURL:      storeURL,
+		MemStoreBytes: memBytes,
+		Logf:          logger.Printf,
 	})
 	if err != nil {
 		return err

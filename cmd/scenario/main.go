@@ -82,6 +82,7 @@ run flags:
                    output is byte-identical to a local run
   -parallel N      worker pool size (0 = all CPUs); results identical at any value
   -cache DIR       persist per-cell results; re-runs skip finished cells
+  -store URL       also read/write cells on a pacramd cache origin at URL
   -csv DIR         also write per-scenario CSV files
   -quiet           suppress progress/ETA output on stderr
   -cpuprofile FILE write a CPU profile (go tool pprof)
@@ -234,6 +235,7 @@ func run(args []string) error {
 		remote   = fs.String("remote", "", "run on a pacramd sweep server at this URL instead of locally")
 		parallel = fs.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
 		cacheDir = fs.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
+		storeURL = fs.String("store", "", "also read/write cells on a pacramd cache origin at this URL")
 		csvDir   = fs.String("csv", "", "directory to write per-scenario CSV files")
 		quiet    = fs.Bool("quiet", false, "suppress progress/ETA output on stderr")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -265,6 +267,8 @@ func run(args []string) error {
 			return fmt.Errorf("run: -parallel is a local execution knob; the server's -parallel governs remote runs")
 		case *cacheDir != "":
 			return fmt.Errorf("run: -cache is a local execution knob; the server owns the remote result store")
+		case *storeURL != "":
+			return fmt.Errorf("run: -store is a local execution knob; configure the server's -store instead")
 		case *cpuprof != "":
 			return fmt.Errorf("run: -cpuprofile profiles local execution; it cannot profile the server")
 		}
@@ -287,7 +291,7 @@ func run(args []string) error {
 	if !*quiet {
 		progress = os.Stderr
 	}
-	opt := scenario.RunOptions{Parallel: *parallel, CacheDir: *cacheDir, Progress: progress}
+	opt := scenario.RunOptions{Parallel: *parallel, CacheDir: *cacheDir, StoreURL: *storeURL, Progress: progress}
 
 	for _, name := range names {
 		s, err := load(name)

@@ -54,6 +54,7 @@ func realMain() error {
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all CPUs); results are identical at any value")
 		cacheDir  = flag.String("cache", "", "cache completed cells as JSON in this directory; re-runs skip them")
+		storeURL  = flag.String("store", "", "also read/write cells on a pacramd cache origin at this URL")
 		quiet     = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
@@ -96,6 +97,7 @@ func realMain() error {
 	opt.Seed = *seed
 	opt.Parallel = *parallel
 	opt.CacheDir = *cacheDir
+	opt.StoreURL = *storeURL
 	opt.Progress = progress
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")

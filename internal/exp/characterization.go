@@ -54,7 +54,7 @@ func (o CharOptions) runnerOptions(label string) (runner.Options, error) {
 			o.Rows, o.BankRows, o.Iterations, o.Seed),
 		Progress: o.Progress,
 		Label:    label,
-	}.WithCacheDir(o.CacheDir)
+	}.WithStore(o.CacheDir, "")
 }
 
 // charRun measures one module at one (factor, npr, temperature) sweep

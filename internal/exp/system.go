@@ -42,6 +42,9 @@ type SysOptions struct {
 	// CacheDir, when non-empty, persists per-cell results as JSON so
 	// repeated runs at the same scale skip finished cells.
 	CacheDir string
+	// StoreURL, when non-empty, adds a remote result-store tier (a
+	// pacramd cache origin) behind the disk tier; see runner.OpenStore.
+	StoreURL string
 	// Progress, when non-nil, receives streaming progress and ETA
 	// (typically os.Stderr).
 	Progress io.Writer
@@ -113,7 +116,7 @@ func (o SysOptions) runnerOptions(label string) (runner.Options, error) {
 			o.Instructions, o.Warmup, o.Seed, g.Channels, g.Ranks),
 		Progress: o.Progress,
 		Label:    label,
-	}.WithCacheDir(o.CacheDir)
+	}.WithStore(o.CacheDir, o.StoreURL)
 }
 
 // sweep drives a figure builder through the runner in two passes: a

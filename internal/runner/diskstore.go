@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// buildID fingerprints the running executable (SHA-256 of its bytes),
+// computed once per process. Mixing it into every cache hash means a
+// recompiled binary never reads entries written by a different build —
+// results cached under old code are recomputed, not replayed. With
+// unchanged sources, `go run` / `go build` reproduce the same binary,
+// so caches survive across invocations of the same code. The identity
+// also holds across the store wire: a remote origin serves entries to
+// any client, but only a client running the same build computes the
+// same hashes and validates the same fingerprints.
+var buildID = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-build"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown-build"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown-build"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:20]
+})
+
+// fullFingerprint is what entries are stored and validated under: the
+// caller's fingerprint plus the build identity.
+func fullFingerprint(fingerprint string) string {
+	return fingerprint + "\x1fbuild=" + buildID()
+}
+
+// hashCell is the content address of one cell: the full fingerprint
+// (caller's plus build identity), the base seed and the job key. It is
+// shared by every store backend and the Pool's in-flight
+// deduplication, so they all stay aligned on what "the same cell"
+// means.
+func hashCell(fingerprint string, seed uint64, key string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x1f%d\x1f%s", fullFingerprint(fingerprint), seed, key)
+	return hex.EncodeToString(h.Sum(nil))[:40]
+}
+
+// DiskStore persists envelopes as one JSON file per hash — the layout
+// every release has used, so existing cache directories are read as-is
+// with no migration. The zero value is not usable; construct with
+// NewDiskStore.
+type DiskStore struct {
+	dir string
+	c   tierCounters
+}
+
+// NewDiskStore opens (creating if needed) a store directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir, c: tierCounters{name: "disk"}}, nil
+}
+
+// Dir returns the store directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// Locate returns the entry's file path (see Locator).
+func (d *DiskStore) Locate(hash string) string { return d.path(hash) }
+
+func (d *DiskStore) path(hash string) string {
+	return filepath.Join(d.dir, hash+".json")
+}
+
+// Get reads the envelope under hash. A missing file is a miss; any
+// other read failure is a degradation naming the path.
+func (d *DiskStore) Get(hash string) (data []byte, ok bool, err error) {
+	start := time.Now()
+	defer func() { d.c.recordGet(start, ok, err) }()
+	data, rerr := os.ReadFile(d.path(hash))
+	if rerr != nil {
+		if errors.Is(rerr, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("reading cache entry %s: %w", d.path(hash), rerr)
+	}
+	return data, true, nil
+}
+
+// Put writes the envelope under hash atomically: a temp file in the
+// same directory, then rename, so a concurrent reader sees either
+// nothing or the complete entry.
+func (d *DiskStore) Put(hash string, data []byte) (err error) {
+	start := time.Now()
+	defer func() { d.c.recordPut(start, err) }()
+	tmp, err := os.CreateTemp(d.dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Stats returns the store's operation counters.
+func (d *DiskStore) Stats() TierStats { return d.c.snapshot() }

@@ -1,10 +1,10 @@
 // Package runner is the repository's generic experiment engine: it
 // takes a matrix of independent jobs (e.g. mitigation x NRH x PaCRAM
 // config x workload), fans them out over a bounded worker pool, caches
-// completed results on disk, and streams progress to the caller.
-// Every sweep driver in internal/exp, the artifact checker and the
-// examples execute their simulation and characterization cells through
-// it.
+// completed results in a pluggable result store, and streams progress
+// to the caller. Every sweep driver in internal/exp, the artifact
+// checker and the examples execute their simulation and
+// characterization cells through it.
 //
 // # Determinism
 //
@@ -31,20 +31,30 @@
 //
 // # Caching
 //
-// With Options.Cache set, a completed job's result is stored as JSON
-// in one file per job, keyed by a SHA-256 hash of the options
-// fingerprint, the base seed, the job key, and a fingerprint of the
-// running executable. A later run with the same tuple loads the
-// stored result and skips the computation; any change to the
-// fingerprint (scale, seed) or to the compiled code misses the cache
-// rather than replaying results computed by different code. Cache
-// files are written atomically (temp file + rename), so concurrent
+// With Options.Store set, a completed job's result is stored as a
+// JSON envelope keyed by a SHA-256 hash of the options fingerprint,
+// the base seed, the job key, and a fingerprint of the running
+// executable. A later run with the same tuple loads the stored result
+// and skips the computation; any change to the fingerprint (scale,
+// seed) or to the compiled code misses the cache rather than
+// replaying results computed by different code. The Store interface
+// is pluggable — a size-bounded in-memory LRU (NewMemStore), the
+// classic one-file-per-cell disk layout (NewDiskStore, byte-compatible
+// with cache directories written by every earlier release), a remote
+// pacramd cache origin over HTTP (NewRemoteStore), or a tiered stack
+// of them with read-through promotion and write-back (NewTiered) —
+// and the guarantees are backend-independent: entries are
+// self-describing (key and fingerprint travel with the result and are
+// re-validated on load, see GetCell), so corrupt or mismatched
+// entries are treated as misses and rewritten, never replayed. Disk
+// entries are written atomically (temp file + rename), so concurrent
 // processes sharing a cache directory at worst duplicate work, never
-// corrupt it. Corrupt or mismatched entries are treated as misses and
-// rewritten, and a failed store (disk full mid-run) degrades to a
-// one-time warning, never to a lost result.
+// corrupt it. A failing store operation (disk full mid-run, an
+// unreachable remote tier) degrades to one warning per failure via
+// Options.Warnf, never to a lost result. The conformance suite in
+// runner/storetest pins these semantics for every backend.
 //
-// The cache stores whatever the job returned, so cached and computed
+// The store holds whatever the job returned, so cached and computed
 // results are interchangeable only if job result types marshal to
 // JSON losslessly (exported fields, no NaN/Inf) — true for all result
 // types in this repository.
@@ -64,7 +74,7 @@
 // bounds actual computation across all concurrent invocations, and
 // identical cells asked for by overlapping invocations are computed
 // once ("singleflight" on the cell's content address, the same hash
-// the disk cache uses). With a shared Cache the guarantee is strict:
+// the result store uses). With a shared Store the guarantee is strict:
 // the flight owner stores its result before releasing waiters, so a
 // cell is computed at most once per (store, build) no matter how many
 // overlapping sweeps arrive concurrently. Options.OnEvent streams one

@@ -37,15 +37,17 @@ func ExampleMatrix() {
 	// nrh=64 vs baseline: 0.9844
 }
 
-// ExampleCache persists results on disk: a second Run with the same
-// fingerprint, seed and keys loads every cell instead of recomputing.
-func ExampleCache() {
+// ExampleDiskStore persists results on disk: a second Run with the
+// same fingerprint, seed and keys loads every cell instead of
+// recomputing. Any other Store backend (memory, remote, tiered) drops
+// in the same way.
+func ExampleDiskStore() {
 	dir, err := os.MkdirTemp("", "runner-example-")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	cache, err := runner.NewCache(dir)
+	store, err := runner.NewDiskStore(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,15 +56,15 @@ func ExampleCache() {
 		{Key: "cell/a", Run: func(runner.Ctx) (int, error) { return 1, nil }},
 		{Key: "cell/b", Run: func(runner.Ctx) (int, error) { return 2, nil }},
 	}
-	opt := runner.Options{Workers: 2, Seed: 7, Fingerprint: "example:v1", Cache: cache}
+	opt := runner.Options{Workers: 2, Seed: 7, Fingerprint: "example:v1", Store: store}
 	if _, err := runner.Run(opt, jobs); err != nil { // cold: computes and stores
 		log.Fatal(err)
 	}
 	if _, err := runner.Run(opt, jobs); err != nil { // warm: loads from disk
 		log.Fatal(err)
 	}
-	hits, misses := cache.Stats()
-	fmt.Printf("hits=%d misses=%d\n", hits, misses)
+	st := store.Stats()
+	fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
 	// Output:
 	// hits=2 misses=2
 }

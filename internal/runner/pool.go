@@ -10,12 +10,12 @@ import (
 // Event describes one finished cell of a Run invocation, for callers
 // that stream per-cell progress (the sweep service forwards these over
 // SSE). Exactly one of the three outcomes holds per event: the cell
-// was computed here, served from the disk store (Cached), or picked up
+// was computed here, served from the result store (Cached), or picked up
 // from a concurrent computation of the same cell (Coalesced).
 type Event struct {
 	// Key is the finished job's matrix key.
 	Key string
-	// Cached marks a result served from the disk store without
+	// Cached marks a result served from the result store without
 	// computing.
 	Cached bool
 	// Coalesced marks a result adopted from another in-flight
@@ -36,7 +36,7 @@ type flight[T any] struct {
 	done   chan struct{} // closed once res/err are set
 	res    T
 	err    error
-	cached bool // the owner served it from the disk store, not compute
+	cached bool // the owner served it from the result store, not compute
 }
 
 // Pool is a long-lived bounded worker pool shared across concurrent
@@ -46,15 +46,16 @@ type flight[T any] struct {
 //
 // The Pool also deduplicates identical cells across concurrent
 // invocations ("singleflight"): cells are content-addressed by the
-// same hash the disk store uses (fingerprint + seed + job key), the
+// same hash the result store uses (fingerprint + seed + job key), the
 // first invocation to ask for a cell computes it, and every
 // invocation that asks while it runs waits for that one computation
-// instead of starting its own. Combined with a shared Options.Cache —
+// instead of starting its own. Combined with a shared Options.Store —
 // the owner stores its result before releasing waiters and
 // deregistering the flight — a cell is computed at most once per
 // (store, build) no matter how many overlapping sweeps are submitted
-// concurrently. Without a cache, deduplication still applies to
-// cells whose computations overlap in time.
+// concurrently, whatever backend the store stacks. Without a store,
+// deduplication still applies to cells whose computations overlap in
+// time.
 //
 // Results handed to coalesced waiters alias the owner's value;
 // callers must treat results as immutable (all result types in this
@@ -117,7 +118,7 @@ func (p *Pool[T]) ComputeCounts() map[string]int {
 // jobs on failure, so the determinism, caching and failure guarantees
 // of top-level Run hold unchanged — results are bit-identical whether
 // a cell was computed, cached, or coalesced. Only actual computation
-// occupies a pool slot: an invocation waiting on the disk store or on
+// occupies a pool slot: an invocation waiting on the result store or on
 // another invocation's in-flight cell consumes no capacity.
 func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 	seen := make(map[string]bool, len(jobs))
@@ -145,22 +146,25 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 		stop      = make(chan struct{})
 		once      sync.Once
 		feed      = make(chan int)
-		storeWarn sync.Once
+		warnMu    sync.Mutex
 		doneCount atomic.Int64
 	)
 	fail := func() { once.Do(func() { close(stop) }) }
-	// Caching is an optimization: a failed store (disk full, permission
-	// lost mid-run) must not discard a computed result or abort the
-	// sweep. Warn once and keep going uncached.
-	warnStore := func(key string, err error) {
-		storeWarn.Do(func() {
-			switch {
-			case opt.Warnf != nil:
-				opt.Warnf("runner: warning: cannot cache %s (continuing uncached): %v", key, err)
-			case opt.Progress != nil:
-				fmt.Fprintf(opt.Progress, "\nrunner: warning: cannot cache %s (continuing uncached): %v\n", key, err)
-			}
-		})
+	// Caching is an optimization: a failing store (disk full, an
+	// unreachable remote tier, a corrupt entry) must not discard a
+	// computed result or abort the sweep. Each failing store operation
+	// warns exactly once — naming the cell, and for read failures where
+	// the bad bytes live — and the run continues uncached; the mutex
+	// keeps concurrent warnings from interleaving on a shared writer.
+	warn := func(format string, args ...any) {
+		warnMu.Lock()
+		defer warnMu.Unlock()
+		switch {
+		case opt.Warnf != nil:
+			opt.Warnf(format, args...)
+		case opt.Progress != nil:
+			fmt.Fprintf(opt.Progress, "\n"+format+"\n", args...)
+		}
 	}
 	emit := func(ev Event) {
 		ev.Done = int(doneCount.Add(1))
@@ -204,7 +208,7 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 				p.mu.Unlock()
 
 				// Owner path. The flight is deregistered only after the
-				// result is in the disk store, so at every instant a
+				// result is in the store, so at every instant a
 				// cell is findable either in flight or in the store —
 				// the gap that would let a concurrent submission
 				// recompute it never opens (short of a store failure,
@@ -218,11 +222,17 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 					close(f.done)
 				}
 
-				if opt.Cache != nil && opt.Cache.load(hash, opt.Fingerprint, j.Key, &results[i]) {
-					f.cached = true
-					finish(results[i], nil)
-					emit(Event{Key: j.Key, Cached: true})
-					continue
+				if opt.Store != nil {
+					hit, gerr := GetCell(opt.Store, hash, opt.Fingerprint, j.Key, &results[i])
+					if gerr != nil {
+						warn("runner: warning: degraded cache read for %v (recomputing if needed)", gerr)
+					}
+					if hit {
+						f.cached = true
+						finish(results[i], nil)
+						emit(Event{Key: j.Key, Cached: true})
+						continue
+					}
 				}
 
 				p.slots <- struct{}{}
@@ -242,9 +252,9 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 					continue
 				}
 				results[i] = res
-				if opt.Cache != nil {
-					if serr := opt.Cache.store(hash, opt.Fingerprint, j.Key, res); serr != nil {
-						warnStore(j.Key, serr)
+				if opt.Store != nil {
+					if serr := PutCell(opt.Store, hash, opt.Fingerprint, j.Key, res); serr != nil {
+						warn("runner: warning: cannot cache %s (continuing uncached): %v", j.Key, serr)
 					}
 				}
 				finish(res, nil)

@@ -11,18 +11,18 @@ import (
 
 // TestPoolSharedCacheComputesEachCellOnce is the service-shaped
 // guarantee: N concurrent Run invocations of the same job matrix over
-// one pool and one shared cache compute every cell exactly once —
+// one pool and one shared store compute every cell exactly once —
 // whichever invocation gets there first owns the flight, the others
 // coalesce onto it or hit the store — and all invocations receive
 // identical results.
 func TestPoolSharedCacheComputesEachCellOnce(t *testing.T) {
-	cache, err := NewCache(t.TempDir())
+	store, err := NewDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool := NewPool[mixResult](4)
 	pool.TrackComputeCounts()
-	opt := Options{Seed: 42, Fingerprint: "pool:v1", Cache: cache}
+	opt := Options{Seed: 42, Fingerprint: "pool:v1", Store: store}
 
 	const submissions = 6
 	results := make([]map[string]mixResult, submissions)
@@ -164,7 +164,7 @@ func TestPoolBoundsComputeAcrossRuns(t *testing.T) {
 // job produces exactly one event, Done values are a permutation of
 // 1..Total, and cache hits are classified as Cached on a warm run.
 func TestRunEventsAreDenseAndClassified(t *testing.T) {
-	cache, err := NewCache(t.TempDir())
+	store, err := NewDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestRunEventsAreDenseAndClassified(t *testing.T) {
 	}
 	collect := func() (*collector, Options) {
 		c := &collector{}
-		opt := Options{Workers: 3, Seed: 42, Fingerprint: "ev:v1", Cache: cache, OnEvent: func(ev Event) {
+		opt := Options{Workers: 3, Seed: 42, Fingerprint: "ev:v1", Store: store, OnEvent: func(ev Event) {
 			c.mu.Lock()
 			c.events = append(c.events, ev)
 			c.mu.Unlock()

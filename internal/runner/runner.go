@@ -36,8 +36,11 @@ type Options struct {
 	// results (scale knobs, config version). Jobs cached under one
 	// fingerprint are never returned under another.
 	Fingerprint string
-	// Cache, when non-nil, persists results on disk (see NewCache).
-	Cache *Cache
+	// Store, when non-nil, persists results in a pluggable backend:
+	// disk (NewDiskStore, the classic layout), memory (NewMemStore),
+	// a pacramd cache origin (NewRemoteStore), or a tiered stack of
+	// them (NewTiered). See OpenStore for the standard composition.
+	Store Store
 	// Progress, when non-nil, receives streaming progress and ETA
 	// lines (typically os.Stderr).
 	Progress io.Writer
@@ -55,18 +58,17 @@ type Options struct {
 	Warnf func(format string, args ...any)
 }
 
-// WithCacheDir returns a copy of the options with the cache opened at
-// dir; an empty dir leaves caching off. This is the one place the
+// WithStore returns a copy of the options with the standard store
+// stack opened from the two CLI knobs (see OpenStore): a disk tier at
+// cacheDir, a remote tier at remoteURL, tiered when both are set,
+// no store when neither is. This is the one place the
 // open-if-configured dance lives, shared by every front end.
-func (o Options) WithCacheDir(dir string) (Options, error) {
-	if dir == "" {
-		return o, nil
-	}
-	cache, err := NewCache(dir)
+func (o Options) WithStore(cacheDir, remoteURL string) (Options, error) {
+	store, err := OpenStore(cacheDir, remoteURL)
 	if err != nil {
 		return Options{}, err
 	}
-	o.Cache = cache
+	o.Store = store
 	return o, nil
 }
 

@@ -70,7 +70,7 @@ func TestJobSeedDeterministicAndKeyed(t *testing.T) {
 }
 
 func TestCacheHitSkipsRecompute(t *testing.T) {
-	cache, err := NewCache(t.TempDir())
+	store, err := NewDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCacheHitSkipsRecompute(t *testing.T) {
 		}
 		return js
 	}
-	opt := Options{Workers: 4, Seed: 42, Cache: cache, Fingerprint: "test:v1"}
+	opt := Options{Workers: 4, Seed: 42, Store: store, Fingerprint: "test:v1"}
 
 	cold, err := Run(opt, jobs())
 	if err != nil {
@@ -105,7 +105,7 @@ func TestCacheHitSkipsRecompute(t *testing.T) {
 	if !reflect.DeepEqual(cold, warm) {
 		t.Fatal("cached results differ from computed ones")
 	}
-	if hits, _ := cache.Stats(); hits != 12 {
+	if hits := store.Stats().Hits; hits != 12 {
 		t.Fatalf("cache reports %d hits, want 12", hits)
 	}
 
@@ -121,17 +121,17 @@ func TestCacheHitSkipsRecompute(t *testing.T) {
 
 func TestStoreFailureDegradesToWarning(t *testing.T) {
 	dir := t.TempDir()
-	cache, err := NewCache(dir)
+	store, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Remove the directory out from under the cache: every store now
+	// Remove the directory out from under the store: every write now
 	// fails, which must cost a warning, not the run.
 	if err := os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	res, err := Run(Options{Workers: 2, Seed: 42, Cache: cache, Progress: &buf}, testJobs(6))
+	res, err := Run(Options{Workers: 2, Seed: 42, Store: store, Progress: &buf}, testJobs(6))
 	if err != nil {
 		t.Fatalf("store failure aborted the run: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestStoreFailureDegradesToWarning(t *testing.T) {
 	// Progress, so headless callers see the degradation too.
 	var warned string
 	var mu sync.Mutex
-	_, err = Run(Options{Workers: 2, Seed: 42, Cache: cache, Warnf: func(format string, args ...any) {
+	_, err = Run(Options{Workers: 2, Seed: 42, Store: store, Warnf: func(format string, args ...any) {
 		mu.Lock()
 		warned = fmt.Sprintf(format, args...)
 		mu.Unlock()

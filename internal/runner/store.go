@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the pluggable result-store contract: content-addressed
+// envelope bytes keyed by the cell hash (the same hash the Pool's
+// singleflight uses). Backends are dumb byte stores — entry validation
+// (key, fingerprint, build identity) happens above them in GetCell, so
+// a backend can never be tricked into replaying a wrong result; at
+// worst it serves bytes that fail validation and count as a miss.
+//
+// Implementations must be safe for concurrent use. Get returns the
+// stored bytes aliased, and Put may retain data: callers treat both as
+// immutable after the call (GetCell/PutCell always do).
+//
+// Error semantics are degradation semantics: a Store error never
+// aborts a sweep. Callers recompute the cell and surface the error
+// through Options.Warnf — once per failing operation — so exactly-once
+// degrades to duplicated work, never to a lost or wrong result.
+type Store interface {
+	// Get returns the envelope bytes stored under hash. A miss is
+	// (nil, false, nil); an error means the backend failed in a way
+	// worth warning about (the entry may or may not exist).
+	Get(hash string) (data []byte, ok bool, err error)
+	// Put stores the envelope bytes under hash, replacing any previous
+	// entry.
+	Put(hash string, data []byte) error
+	// Stats returns a snapshot of the backend's operation counters.
+	Stats() TierStats
+}
+
+// Locator is optionally implemented by stores whose entries have a
+// nameable location (a file path, a URL). GetCell uses it to point
+// corrupt-entry warnings at the bytes that need deleting.
+type Locator interface {
+	Locate(hash string) string
+}
+
+// TierStats is one store backend's counter snapshot. Hits and misses
+// count raw byte-level presence (an entry that later fails envelope
+// validation still counted as a hit here); latency is cumulative over
+// all operations, so avg = micros/ops.
+type TierStats struct {
+	// Name identifies the backend: mem, disk, remote or tiered.
+	Name string `json:"name"`
+	// Hits/Misses/Puts/Errors count operations since construction.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	Errors int64 `json:"errors"`
+	// Evictions counts entries dropped by a size bound (mem tier).
+	Evictions int64 `json:"evictions,omitempty"`
+	// Promotions counts entries copied into faster tiers on a hit
+	// (tiered combinator only).
+	Promotions int64 `json:"promotions,omitempty"`
+	// Entries/Bytes describe current occupancy where the backend can
+	// know it cheaply (mem tier).
+	Entries int64 `json:"entries,omitempty"`
+	Bytes   int64 `json:"bytes,omitempty"`
+	// GetMicros/PutMicros are cumulative operation latencies.
+	GetMicros int64 `json:"getMicros"`
+	PutMicros int64 `json:"putMicros"`
+}
+
+// tierCounters is the shared counter block every backend embeds.
+type tierCounters struct {
+	name                       string
+	hits, misses, puts, errors atomic.Int64
+	evictions, promotions      atomic.Int64
+	getNanos, putNanos         atomic.Int64
+}
+
+// recordGet books one Get outcome; start is when the operation began.
+func (c *tierCounters) recordGet(start time.Time, ok bool, err error) {
+	c.getNanos.Add(int64(time.Since(start)))
+	switch {
+	case err != nil:
+		c.errors.Add(1)
+	case ok:
+		c.hits.Add(1)
+	default:
+		c.misses.Add(1)
+	}
+}
+
+// recordPut books one Put outcome.
+func (c *tierCounters) recordPut(start time.Time, err error) {
+	c.putNanos.Add(int64(time.Since(start)))
+	c.puts.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+	}
+}
+
+func (c *tierCounters) snapshot() TierStats {
+	return TierStats{
+		Name:       c.name,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Puts:       c.puts.Load(),
+		Errors:     c.errors.Load(),
+		Evictions:  c.evictions.Load(),
+		Promotions: c.promotions.Load(),
+		GetMicros:  c.getNanos.Load() / 1e3,
+		PutMicros:  c.putNanos.Load() / 1e3,
+	}
+}
+
+// entry is the stored envelope. Key and fingerprint travel with the
+// result and are re-checked on load, so entries are self-describing
+// and a hash collision — or a remote origin serving stale bytes —
+// cannot silently alias two cells.
+type entry struct {
+	Key         string          `json:"key"`
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// GetCell loads the cell stored under hash into out, reporting whether
+// it was a usable hit. Validation happens here, above the backend:
+// mismatched key or fingerprint (a different build above all) is a
+// plain miss, while backend failures and corrupt entries come back as
+// an error naming the cell — callers recompute either way, so a wrong
+// result is never replayed, but only genuine degradation is worth a
+// warning.
+func GetCell(s Store, hash, fingerprint, key string, out any) (bool, error) {
+	data, ok, err := s.Get(hash)
+	if err != nil {
+		return false, fmt.Errorf("cell %s: %w", key, err)
+	}
+	if !ok {
+		return false, nil
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil {
+		return false, fmt.Errorf("cell %s: corrupt cache entry%s", key, locate(s, hash))
+	}
+	if e.Key != key || e.Fingerprint != fullFingerprint(fingerprint) {
+		return false, nil
+	}
+	if uerr := json.Unmarshal(e.Result, out); uerr != nil {
+		return false, fmt.Errorf("cell %s: decoding cached result%s: %v", key, locate(s, hash), uerr)
+	}
+	return true, nil
+}
+
+// PutCell stores a computed cell result under hash.
+func PutCell(s Store, hash, fingerprint, key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(entry{Key: key, Fingerprint: fullFingerprint(fingerprint), Result: raw})
+	if err != nil {
+		return err
+	}
+	return s.Put(hash, data)
+}
+
+// locate names where a corrupt entry lives when the backend can say.
+func locate(s Store, hash string) string {
+	if l, ok := s.(Locator); ok {
+		return " at " + l.Locate(hash)
+	}
+	return ""
+}
+
+// OpenStore composes the standard front-end store stack from the two
+// CLI knobs: a disk tier when cacheDir is set, a remote tier (a
+// pacramd cache origin) when remoteURL is set, stacked with
+// read-through promotion and write-back when both are. Neither set
+// means no store (nil, nil).
+func OpenStore(cacheDir, remoteURL string) (Store, error) {
+	var tiers []Store
+	if cacheDir != "" {
+		disk, err := NewDiskStore(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, disk)
+	}
+	if remoteURL != "" {
+		tiers = append(tiers, NewRemoteStore(remoteURL))
+	}
+	switch len(tiers) {
+	case 0:
+		return nil, nil
+	case 1:
+		return tiers[0], nil
+	}
+	return NewTiered(tiers...), nil
+}

@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDiskStoreReadsPreexistingLayout hand-writes a cache entry in the
+// exact on-disk layout every release has used — dir/<hash>.json
+// holding the {key, fingerprint, result} envelope — and checks a fresh
+// DiskStore serves it with no migration. This is the byte-level
+// compatibility contract for existing cache directories.
+func TestDiskStoreReadsPreexistingLayout(t *testing.T) {
+	dir := t.TempDir()
+	hash := hashCell("compat:v1", 7, "cell/a")
+	raw, err := json.Marshal(entry{
+		Key:         "cell/a",
+		Fingerprint: fullFingerprint("compat:v1"),
+		Result:      json.RawMessage(`{"Key":"cell/a","Count":9}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, hash+".json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got mixResult
+	hit, err := GetCell(store, hash, "compat:v1", "cell/a", &got)
+	if err != nil || !hit {
+		t.Fatalf("GetCell = hit=%v err=%v, want a hit on the pre-existing entry", hit, err)
+	}
+	if got.Key != "cell/a" || got.Count != 9 {
+		t.Fatalf("loaded %+v, want the handwritten entry", got)
+	}
+
+	// And the engine itself serves it: a Run over the directory loads
+	// the cell instead of recomputing.
+	computed := false
+	jobs := []Job[mixResult]{{Key: "cell/a", Run: func(c Ctx) (mixResult, error) {
+		computed = true
+		return compute(c)
+	}}}
+	res, err := Run(Options{Workers: 1, Seed: 7, Fingerprint: "compat:v1", Store: store}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("engine recomputed a cell present in the pre-existing layout")
+	}
+	if !reflect.DeepEqual(res["cell/a"], got) {
+		t.Fatalf("engine served %+v, want %+v", res["cell/a"], got)
+	}
+}
+
+// TestCorruptEntryWarningNamesCellAndPath plants corrupt bytes at a
+// cell's exact cache path and checks the run-level warning names both
+// the cell key and the file path — the operator needs to know which
+// file to delete — while the cell is recomputed correctly.
+func TestCorruptEntryWarningNamesCellAndPath(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "cell/3"
+	hash := hashCell("corrupt:v1", 42, key)
+	path := filepath.Join(dir, hash+".json")
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var warnings []string
+	res, err := Run(Options{Workers: 2, Seed: 42, Fingerprint: "corrupt:v1", Store: store,
+		Warnf: func(format string, args ...any) {
+			mu.Lock()
+			warnings = append(warnings, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}}, testJobs(6))
+	if err != nil {
+		t.Fatalf("corrupt entry aborted the run: %v", err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("got %d results, want 6", len(res))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(warnings) != 1 {
+		t.Fatalf("got %d warnings, want exactly one (the corrupt cell): %q", len(warnings), warnings)
+	}
+	for _, want := range []string{key, path} {
+		if !strings.Contains(warnings[0], want) {
+			t.Fatalf("warning %q does not name %q", warnings[0], want)
+		}
+	}
+
+	// The recomputed result must have overwritten the corrupt entry.
+	var out mixResult
+	hit, gerr := GetCell(store, hash, "corrupt:v1", key, &out)
+	if gerr != nil || !hit {
+		t.Fatalf("after the run, GetCell = hit=%v err=%v, want the rewritten entry", hit, gerr)
+	}
+	if !reflect.DeepEqual(out, res[key]) {
+		t.Fatalf("rewritten entry %+v differs from the computed result %+v", out, res[key])
+	}
+}

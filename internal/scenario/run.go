@@ -18,11 +18,16 @@ type RunOptions struct {
 	// Parallel bounds the runner's worker pool (0 = all CPUs). Results
 	// are bit-identical at any worker count.
 	Parallel int
-	// CacheDir, when non-empty, persists per-cell results as JSON;
-	// repeated runs at the same configuration skip finished cells. The
-	// cache is shared across scenarios: cells are addressed by their
-	// full resolved configuration, not by scenario name.
+	// CacheDir, when non-empty, persists per-cell results as JSON on
+	// disk; repeated runs at the same configuration skip finished
+	// cells. The cache is shared across scenarios: cells are addressed
+	// by their full resolved configuration, not by scenario name.
 	CacheDir string
+	// StoreURL, when non-empty, adds a remote store tier — a pacramd
+	// cache origin — behind the disk tier (see runner.OpenStore):
+	// cells finished by any client of the same build are fetched
+	// instead of recomputed, and computed cells are written back.
+	StoreURL string
 	// Progress, when non-nil, receives streaming progress and ETA
 	// lines (typically os.Stderr).
 	Progress io.Writer
@@ -32,9 +37,9 @@ type RunOptions struct {
 	// concurrent executions are computed once. The sweep service runs
 	// every submission this way.
 	Pool *runner.Pool[sim.Result]
-	// Cache, when non-nil, is a pre-opened shared result store; it
-	// takes precedence over CacheDir.
-	Cache *runner.Cache
+	// Store, when non-nil, is a pre-opened shared result store; it
+	// takes precedence over CacheDir and StoreURL.
+	Store runner.Store
 	// OnEvent, when non-nil, receives one event per finished cell
 	// (see runner.Event). Must be safe for concurrent use.
 	OnEvent func(runner.Event)
@@ -66,13 +71,13 @@ func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
 		Fingerprint: "scenario:v1",
 		Progress:    opt.Progress,
 		Label:       p.Spec.Name,
-		Cache:       opt.Cache,
+		Store:       opt.Store,
 		OnEvent:     opt.OnEvent,
 		Warnf:       opt.Warnf,
 	}
-	if ropt.Cache == nil {
+	if ropt.Store == nil {
 		var err error
-		if ropt, err = ropt.WithCacheDir(opt.CacheDir); err != nil {
+		if ropt, err = ropt.WithStore(opt.CacheDir, opt.StoreURL); err != nil {
 			return nil, err
 		}
 	}

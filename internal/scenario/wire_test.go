@@ -113,7 +113,7 @@ func jsonHasField(t *testing.T, data []byte, field string) bool {
 }
 
 // TestRunOnSharedPool runs one catalog scenario through a shared pool
-// + pre-opened cache — the service path — and byte-compares the table
+// + pre-opened store — the service path — and byte-compares the table
 // against the default transient-runner path.
 func TestRunOnSharedPool(t *testing.T) {
 	s, err := ByName("refresh-stress")
@@ -124,11 +124,11 @@ func TestRunOnSharedPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache, err := runner.NewCache(t.TempDir())
+	store, err := runner.NewDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pooled, err := Run(s, RunOptions{Pool: runner.NewPool[sim.Result](4), Cache: cache})
+	pooled, err := Run(s, RunOptions{Pool: runner.NewPool[sim.Result](4), Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}

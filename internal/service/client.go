@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"pacram/internal/runner"
 )
 
 // Client talks to a pacramd server. The zero value is not usable;
@@ -103,6 +105,14 @@ func (c *Client) Catalog() ([]CatalogEntry, error) {
 func (c *Client) MetricDocs() ([]string, error) {
 	var out []string
 	err := c.getJSON(pathMetrics, &out)
+	return out, err
+}
+
+// StoreStats fetches the server's live result-store tier counters:
+// one entry per tier in stack order, the stack aggregate last.
+func (c *Client) StoreStats() ([]runner.TierStats, error) {
+	var out []runner.TierStats
+	err := c.getJSON(pathStoreStats, &out)
 	return out, err
 }
 

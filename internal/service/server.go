@@ -37,10 +37,18 @@ type Config struct {
 	// Workers bounds the shared simulation pool (<= 0: all CPUs). The
 	// bound governs total cell concurrency across all jobs.
 	Workers int
-	// CacheDir locates the shared result store. Empty creates a
-	// private temporary directory: the store is what makes cross-job
-	// deduplication exact, so the server always has one.
+	// CacheDir locates the shared result store's disk tier. Empty
+	// creates a private temporary directory: the store is what makes
+	// cross-job deduplication exact, so the server always has one.
 	CacheDir string
+	// StoreURL, when non-empty, adds a remote result-store tier behind
+	// the disk tier: another pacramd acting as cache origin. Cells
+	// finished anywhere in the chain are fetched instead of recomputed,
+	// and computed cells are written back.
+	StoreURL string
+	// MemStoreBytes sizes the in-memory LRU tier in front of disk:
+	// 0 means runner.DefaultMemStoreBytes, < 0 disables the tier.
+	MemStoreBytes int64
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (submission, completion, drain).
 	Logf func(format string, args ...any)
@@ -58,9 +66,12 @@ const defaultRetainJobs = 256
 // Close, when the store was private).
 type Server struct {
 	pool *runner.Pool[sim.Result]
-	// cache is the shared result store; privateStore marks one the
-	// server created itself (a temp dir) and therefore owns.
-	cache        *runner.Cache
+	// store is the shared tiered result store (mem → disk [→ remote]);
+	// disk is its disk tier, kept for StoreDir/Close. privateStore
+	// marks a disk tier the server created itself (a temp dir) and
+	// therefore owns.
+	store        *runner.Tiered
+	disk         *runner.DiskStore
 	privateStore bool
 	logf         func(string, ...any)
 	mux          *http.ServeMux
@@ -100,6 +111,7 @@ type job struct {
 	tableID   string
 	tableText []byte
 	csvText   []byte
+	store     []runner.TierStats // tier counters snapshot at completion
 	submitted time.Time
 	finished  time.Time
 }
@@ -116,13 +128,22 @@ func New(cfg Config) (*Server, error) {
 		}
 		dir, private = tmp, true
 	}
-	cache, err := runner.NewCache(dir)
+	disk, err := runner.NewDiskStore(dir)
 	if err != nil {
 		return nil, err
 	}
+	var tiers []runner.Store
+	if cfg.MemStoreBytes >= 0 {
+		tiers = append(tiers, runner.NewMemStore(cfg.MemStoreBytes))
+	}
+	tiers = append(tiers, disk)
+	if cfg.StoreURL != "" {
+		tiers = append(tiers, runner.NewRemoteStore(cfg.StoreURL))
+	}
 	s := &Server{
 		pool:         runner.NewPool[sim.Result](cfg.Workers),
-		cache:        cache,
+		store:        runner.NewTiered(tiers...),
+		disk:         disk,
 		privateStore: private,
 		logf:         cfg.Logf,
 		jobs:         make(map[string]*job),
@@ -163,6 +184,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+pathJobs+"/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET "+pathJobs+"/{id}/table", s.handleTable)
 	mux.HandleFunc("GET "+pathJobs+"/{id}/csv", s.handleCSV)
+	// The store wire protocol: any daemon doubles as a cache origin
+	// for other daemons (their Config.StoreURL) and for CLI -store
+	// runs. The literal /stats path wins over the {hash} wildcard.
+	mux.HandleFunc("GET "+pathStoreStats, s.handleStoreStats)
+	storeH := runner.StoreHandler(s.store)
+	mux.Handle("GET "+runner.StorePathPrefix+"/{hash}", storeH)
+	mux.Handle("PUT "+runner.StorePathPrefix+"/{hash}", storeH)
 	s.mux = mux
 	return s, nil
 }
@@ -170,8 +198,8 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// StoreDir returns the shared result store's directory.
-func (s *Server) StoreDir() string { return s.cache.Dir() }
+// StoreDir returns the result store's disk-tier directory.
+func (s *Server) StoreDir() string { return s.disk.Dir() }
 
 // Workers returns the shared pool's effective concurrency bound.
 func (s *Server) Workers() int { return s.pool.Workers() }
@@ -184,7 +212,7 @@ func (s *Server) Close() error {
 	if !s.privateStore {
 		return nil
 	}
-	return os.RemoveAll(s.cache.Dir())
+	return os.RemoveAll(s.disk.Dir())
 }
 
 // Drain stops accepting new submissions (503) and waits for running
@@ -242,6 +270,12 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scenario.MetricDocs())
+}
+
+// handleStoreStats serves the result store's live tier counters: one
+// entry per tier in stack order, the stack-level aggregate last.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.PerTier())
 }
 
 // resolveSpec turns a SubmitRequest into a compiled plan, classifying
@@ -351,7 +385,7 @@ func (s *Server) execute(j *job, plan *scenario.Plan) {
 	defer s.running.Done()
 	tbl, err := plan.Run(scenario.RunOptions{
 		Pool:  s.pool,
-		Cache: s.cache,
+		Store: s.store,
 		// A degrading result store must reach the operator's log: it
 		// silently turns exactly-once into recompute-per-submission.
 		Warnf: func(format string, args ...any) {
@@ -374,6 +408,7 @@ func (s *Server) execute(j *job, plan *scenario.Plan) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
+	j.store = s.store.PerTier()
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -436,6 +471,7 @@ func (j *job) statusLocked() JobStatus {
 	}
 	if !j.finished.IsZero() {
 		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+		st.Store = j.store
 	}
 	return st
 }

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pacram/internal/runner"
+)
+
+// newOriginServer builds a server whose HTTP front end is returned
+// too, so a second server (or a raw HTTP client) can use it as a
+// result-store origin.
+func newOriginServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// TestStoreEndpointsRoundTrip drives the wire protocol the way a
+// RemoteStore client does, against a live daemon: PUT an envelope, GET
+// it back byte-identically, and get the right errors for unknown
+// hashes, malformed hashes and non-envelope bodies.
+func TestStoreEndpointsRoundTrip(t *testing.T) {
+	_, hs := newOriginServer(t, Config{Workers: 1})
+	base := hs.URL + runner.StorePathPrefix
+
+	envelope := []byte(`{"key":"cell/x","fingerprint":"fp\u001fbuild=t","result":{"v":1}}`)
+	putReq, err := http.NewRequest(http.MethodPut, base+"/"+fmt.Sprintf("%040x", 1), bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT returned %s, want 204", resp.Status)
+	}
+
+	resp, err = http.Get(base + "/" + fmt.Sprintf("%040x", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, envelope) {
+		t.Fatalf("GET returned %s %q, want the exact PUT bytes", resp.Status, got)
+	}
+
+	for _, tc := range []struct {
+		name, method, path string
+		body               []byte
+		want               int
+	}{
+		{"unknown hash", http.MethodGet, base + "/" + fmt.Sprintf("%040x", 2), nil, http.StatusNotFound},
+		{"malformed hash", http.MethodGet, base + "/NOT-HEX", nil, http.StatusBadRequest},
+		{"non-envelope body", http.MethodPut, base + "/" + fmt.Sprintf("%040x", 3), []byte("garbage"), http.StatusUnprocessableEntity},
+	} {
+		req, err := http.NewRequest(tc.method, tc.path, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %s, want %d", tc.name, resp.Status, tc.want)
+		}
+	}
+}
+
+// TestStoreStatsEndpoint checks the live counter surface: per-tier
+// entries in stack order with the aggregate last, served both raw and
+// through the client helper.
+func TestStoreStatsEndpoint(t *testing.T) {
+	_, hs := newOriginServer(t, Config{Workers: 1})
+	stats, err := NewClient(hs.URL).StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d tiers, want 3 (mem, disk, aggregate)", len(stats))
+	}
+	for i, want := range []string{"mem", "disk", "tiered"} {
+		if stats[i].Name != want {
+			t.Errorf("tier %d is %q, want %q", i, stats[i].Name, want)
+		}
+	}
+}
+
+// TestDaemonAsCacheOrigin is the tentpole's acceptance test at the
+// service layer: a second daemon pointed at the first via StoreURL
+// runs the same spec and serves every cell from the remote origin —
+// zero recomputes, a nonzero remote-tier hit counter, byte-identical
+// artifacts, and tier counters on the finished job's status.
+func TestDaemonAsCacheOrigin(t *testing.T) {
+	origin, originHTTP := newOriginServer(t, Config{Workers: 2})
+	second, secondHTTP := newOriginServer(t, Config{Workers: 2, StoreURL: originHTTP.URL})
+	second.pool.TrackComputeCounts()
+
+	spec, err := overlappingSpec("origin-chain", []int{256, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First: populate the origin.
+	_, originTable, originCSV := runAndFetch(t, NewClient(originHTTP.URL), SubmitRequest{Spec: spec})
+
+	// Then: the same spec on the second daemon, whose own disk store is
+	// empty. Every cell must come from the origin over the wire.
+	final, table, csv := runAndFetch(t, NewClient(secondHTTP.URL), SubmitRequest{Spec: spec})
+	if !bytes.Equal(table, originTable) {
+		t.Errorf("second daemon's table differs from the origin's:\n--- second ---\n%s--- origin ---\n%s", table, originTable)
+	}
+	if !bytes.Equal(csv, originCSV) {
+		t.Error("second daemon's CSV differs from the origin's")
+	}
+	if final.Cached != final.Cells {
+		t.Errorf("second daemon cached %d of %d cells, want all of them", final.Cached, final.Cells)
+	}
+	if counts := second.pool.ComputeCounts(); len(counts) != 0 {
+		t.Errorf("second daemon recomputed %d cells despite a warm origin: %v", len(counts), counts)
+	}
+
+	// The chain is visible in the counters: the second daemon's remote
+	// tier recorded hits, and the finished job carries the snapshot.
+	stats, err := NewClient(secondHTTP.URL).StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remoteHits int64 = -1
+	for _, st := range stats {
+		if st.Name == "remote" {
+			remoteHits = st.Hits
+		}
+	}
+	if remoteHits <= 0 {
+		t.Errorf("second daemon's remote tier reports %d hits, want > 0 (stats: %+v)", remoteHits, stats)
+	}
+	if len(final.Store) == 0 {
+		t.Error("finished job status carries no store snapshot")
+	} else if agg := final.Store[len(final.Store)-1]; agg.Name != "tiered" {
+		t.Errorf("job store snapshot ends with %q, want the aggregate", agg.Name)
+	}
+
+	// Nothing on the origin side was recomputed either: its job had
+	// already stored every cell, and serving the wire is read-only.
+	_ = origin
+}
+
+// TestJobStatusStoreSnapshotJSON pins the shape external clients see:
+// the done status carries a "store" array whose entries have tier
+// names and counters.
+func TestJobStatusStoreSnapshotJSON(t *testing.T) {
+	_, hs := newOriginServer(t, Config{Workers: 2})
+	client := NewClient(hs.URL)
+	spec, err := overlappingSpec("snapshot", []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, _ := runAndFetch(t, client, SubmitRequest{Spec: spec})
+
+	raw, err := json.Marshal(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Store []struct {
+			Name string `json:"name"`
+			Puts int64  `json:"puts"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Store) != 3 {
+		t.Fatalf("done status carries %d store tiers, want 3: %s", len(decoded.Store), raw)
+	}
+	if decoded.Store[0].Name != "mem" || decoded.Store[0].Puts == 0 {
+		t.Fatalf("mem tier snapshot %+v records no puts", decoded.Store[0])
+	}
+}

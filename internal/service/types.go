@@ -17,15 +17,21 @@
 // which cmd/scenario's -remote mode and the CI smoke job verify.
 package service
 
-import "encoding/json"
+import (
+	"encoding/json"
 
-// API paths, shared by the server mux and the client.
+	"pacram/internal/runner"
+)
+
+// API paths, shared by the server mux and the client. The store wire
+// protocol itself lives at runner.StorePathPrefix/{hash}.
 const (
-	pathHealth   = "/healthz"
-	pathCatalog  = "/api/v1/catalog"
-	pathMetrics  = "/api/v1/metrics"
-	pathValidate = "/api/v1/validate"
-	pathJobs     = "/api/v1/jobs"
+	pathHealth     = "/healthz"
+	pathCatalog    = "/api/v1/catalog"
+	pathMetrics    = "/api/v1/metrics"
+	pathValidate   = "/api/v1/validate"
+	pathJobs       = "/api/v1/jobs"
+	pathStoreStats = runner.StorePathPrefix + "/stats"
 )
 
 // SubmitRequest asks the server to validate or run one scenario:
@@ -89,6 +95,10 @@ type JobStatus struct {
 	// while running).
 	SubmittedAt string `json:"submittedAt"`
 	FinishedAt  string `json:"finishedAt,omitempty"`
+	// Store snapshots the server's result-store tier counters at job
+	// completion (per tier, aggregate last); empty while running. The
+	// terminal SSE "done" event carries the same snapshot.
+	Store []runner.TierStats `json:"store,omitempty"`
 }
 
 // CellEvent is one per-cell progress event on the SSE stream (event
