@@ -7,23 +7,28 @@
 //	go test -bench BenchmarkControllerThroughput -run '^$' . | \
 //	    go run ./cmd/benchjson -out BENCH_controller.json
 //
-// The output maps each benchmark to its iteration count, ns/op and any
+// The output maps each benchmark to its iteration count, ns/op, the
+// -benchmem allocation columns when present (B/op, allocs/op) and any
 // extra ReportMetric values:
 //
 //	{
 //	  "goos": "linux", "goarch": "amd64",
 //	  "benchmarks": [
 //	    {"name": "BenchmarkControllerThroughput-8",
-//	     "iterations": 21298110, "nsPerOp": 56.19}
+//	     "iterations": 21298110, "nsPerOp": 56.19,
+//	     "bytesPerOp": 0, "allocsPerOp": 0}
 //	  ]
 //	}
 //
 // With -compare BASELINE.json the parsed results are additionally
 // checked against a previously committed report: any benchmark whose
-// ns/op regressed by more than -tolerance (default 0.20 = 20%) fails
-// the run with exit status 1 — the CI regression gate. Names are
-// matched with the trailing -GOMAXPROCS suffix stripped, so reports
-// from machines with different core counts compare cleanly.
+// ns/op — or B/op or allocs/op, when the baseline recorded them —
+// regressed by more than -tolerance (default 0.20 = 20%) fails the
+// run with exit status 1 — the CI regression gate. A baseline without
+// allocation columns gates only ns/op, so re-baselining with -benchmem
+// is opt-in per report. Names are matched with the trailing
+// -GOMAXPROCS suffix stripped, so reports from machines with
+// different core counts compare cleanly.
 package main
 
 import (
@@ -36,12 +41,16 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. BytesPerOp and AllocsPerOp are
+// pointers so a report records the difference between "measured zero
+// allocations" and "ran without -benchmem".
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"nsPerOp"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the file benchjson writes.
@@ -113,18 +122,25 @@ func trimProcs(name string) string {
 	return name
 }
 
-// diff returns a description of every benchmark in cur whose ns/op
-// exceeds its baseline counterpart by more than the tolerance, plus
-// every baseline benchmark missing from cur — a bench that silently
-// stopped running must not read as "no regressions". Benchmarks
-// absent from the baseline pass (new benches must not fail the gate
-// that predates them).
+// diff returns a description of every benchmark in cur whose ns/op —
+// or B/op or allocs/op, when both sides recorded them — exceeds its
+// baseline counterpart by more than the tolerance, plus every baseline
+// benchmark missing from cur — a bench that silently stopped running
+// must not read as "no regressions". Benchmarks absent from the
+// baseline pass (new benches must not fail the gate that predates
+// them), and a baseline without allocation columns gates only ns/op.
 func diff(cur, base *Report, tolerance float64) []string {
-	current := make(map[string]float64, len(cur.Benchmarks))
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
-		current[trimProcs(b.Name)] = b.NsPerOp
+		current[trimProcs(b.Name)] = b
 	}
 	var out []string
+	check := func(name, unit string, got, want float64) {
+		if want > 0 && got > want*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s: %.0f %s vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, got, unit, want, 100*(got/want-1), tolerance*100))
+		}
+	}
 	for _, b := range base.Benchmarks {
 		name := trimProcs(b.Name)
 		got, ok := current[name]
@@ -132,9 +148,12 @@ func diff(cur, base *Report, tolerance float64) []string {
 			out = append(out, fmt.Sprintf("%s: present in baseline but missing from this run", name))
 			continue
 		}
-		if b.NsPerOp > 0 && got > b.NsPerOp*(1+tolerance) {
-			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
-				name, got, b.NsPerOp, 100*(got/b.NsPerOp-1), tolerance*100))
+		check(name, "ns/op", got.NsPerOp, b.NsPerOp)
+		if b.BytesPerOp != nil && got.BytesPerOp != nil {
+			check(name, "B/op", *got.BytesPerOp, *b.BytesPerOp)
+		}
+		if b.AllocsPerOp != nil && got.AllocsPerOp != nil {
+			check(name, "allocs/op", *got.AllocsPerOp, *b.AllocsPerOp)
 		}
 	}
 	return out
@@ -178,8 +197,15 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
 			}
 			unit := fields[i+1]
-			if unit == "ns/op" {
+			switch unit {
+			case "ns/op":
 				b.NsPerOp = v
+				continue
+			case "B/op":
+				b.BytesPerOp = &v
+				continue
+			case "allocs/op":
+				b.AllocsPerOp = &v
 				continue
 			}
 			if b.Metrics == nil {

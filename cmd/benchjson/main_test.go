@@ -38,6 +38,67 @@ func TestParse(t *testing.T) {
 	}
 }
 
+const memSample = `goos: linux
+goarch: amd64
+pkg: pacram
+BenchmarkSimRun/fig17-small/event-horizon-8   	 100	 4000000 ns/op	 41453 simCycles	 2048 B/op	 12 allocs/op
+PASS
+`
+
+// TestParseBenchmem covers the -benchmem columns: B/op and allocs/op
+// land in their dedicated fields, not in Metrics, and a run without
+// -benchmem leaves them nil rather than zero.
+func TestParseBenchmem(t *testing.T) {
+	r := parseSample(t, memSample)
+	if len(r.Benchmarks) != 1 {
+		t.Fatalf("want 1 benchmark, got %d", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.BytesPerOp == nil || *b.BytesPerOp != 2048 {
+		t.Fatalf("bytesPerOp: %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+		t.Fatalf("allocsPerOp: %+v", b)
+	}
+	if b.NsPerOp != 4e6 || b.Metrics["simCycles"] != 41453 {
+		t.Fatalf("other fields disturbed: %+v", b)
+	}
+	if _, ok := b.Metrics["B/op"]; ok {
+		t.Fatal("B/op leaked into Metrics")
+	}
+
+	plain := parseSample(t, sample)
+	if plain.Benchmarks[0].BytesPerOp != nil || plain.Benchmarks[0].AllocsPerOp != nil {
+		t.Fatalf("run without -benchmem reports allocation columns: %+v", plain.Benchmarks[0])
+	}
+}
+
+// TestDiffBenchmem gates the allocation columns: a B/op or allocs/op
+// regression beyond tolerance fails even at unchanged ns/op, and a
+// baseline without the columns gates only ns/op.
+func TestDiffBenchmem(t *testing.T) {
+	base := parseSample(t, memSample)
+	if regs := diff(parseSample(t, memSample), base, 0.20); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+	moreBytes := parseSample(t, strings.Replace(memSample, " 2048 B/op", " 4096 B/op", 1))
+	regs := diff(moreBytes, base, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B/op") {
+		t.Fatalf("want one B/op regression, got %v", regs)
+	}
+	moreAllocs := parseSample(t, strings.Replace(memSample, " 12 allocs/op", " 20 allocs/op", 1))
+	regs = diff(moreAllocs, base, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+	// Old baseline (no -benchmem) against a new -benchmem run: only
+	// ns/op is gated, so the allocation columns cannot trip it.
+	oldBase := parseSample(t, strings.SplitAfter(sample, "simCycles\n")[0])
+	if regs := diff(moreBytes, oldBase, 0.20); len(regs) != 0 {
+		t.Fatalf("memless baseline gated allocation columns: %v", regs)
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":          "BenchmarkFoo",

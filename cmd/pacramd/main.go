@@ -10,7 +10,15 @@
 // Usage:
 //
 //	pacramd [-addr :8793] [-parallel N] [-cache DIR] [-store URL]
-//	        [-mem-store MB] [-drain-timeout 2m]
+//	        [-mem-store MB] [-drain-timeout 2m] [-log-level info]
+//	        [-trace DIR]
+//
+// Logs are structured (log/slog text format) on stderr; -log-level
+// takes debug, info, warn or error. -trace records one span-tree trace
+// file per job as DIR/<jobID>.trace.jsonl — summarize with
+// cmd/tracetool. The telemetry registry (pool, store, job, SSE series)
+// is served in Prometheus text exposition at GET /metrics and as JSON
+// at GET /api/v1/metrics.
 //
 // The HTTP API is documented in the top-level README; cmd/scenario's
 // -remote flag is the reference client:
@@ -33,10 +41,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,16 +60,39 @@ func main() {
 		storeURL     = flag.String("store", "", "remote result-store origin URL (another pacramd) behind the disk tier")
 		memStoreMB   = flag.Int64("mem-store", 256, "in-memory result-store tier size in MB (0 disables the tier)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for running jobs on shutdown")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		traceDir     = flag.String("trace", "", "record one span-tree trace file per job in this directory (see cmd/tracetool)")
 	)
 	flag.Parse()
-	if err := run(*addr, *parallel, *cacheDir, *storeURL, *memStoreMB, *drainTimeout); err != nil {
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *parallel, *cacheDir, *storeURL, *traceDir, *memStoreMB, *drainTimeout, level); err != nil {
 		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64, drainTimeout time.Duration) error {
-	logger := log.New(os.Stderr, "pacramd: ", log.LstdFlags)
+// parseLevel maps the -log-level flag to a slog level; unknown names
+// fail loudly rather than silently defaulting.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (have: debug info warn error)", s)
+}
+
+func run(addr string, parallel int, cacheDir, storeURL, traceDir string, memStoreMB int64, drainTimeout time.Duration, level slog.Level) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	memBytes := memStoreMB << 20
 	if memStoreMB <= 0 {
 		memBytes = -1 // Config: negative disables the mem tier
@@ -70,7 +102,8 @@ func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64,
 		CacheDir:      cacheDir,
 		StoreURL:      storeURL,
 		MemStoreBytes: memBytes,
-		Logf:          logger.Printf,
+		Logger:        logger,
+		TraceDir:      traceDir,
 	})
 	if err != nil {
 		return err
@@ -79,7 +112,7 @@ func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64,
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers: %d, store: %s)", addr, srv.Workers(), srv.StoreDir())
+		logger.Info("listening", "addr", addr, "workers", srv.Workers(), "store", srv.StoreDir())
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -93,14 +126,14 @@ func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64,
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		logger.Printf("received %s, draining", s)
+		logger.Info("received signal, draining", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := srv.Drain(ctx)
 	if drainErr != nil {
-		logger.Printf("%v", drainErr)
+		logger.Error("drain failed", "err", drainErr)
 	}
 	// The drain may have consumed its whole budget; in-flight HTTP
 	// responses (a table fetch, an SSE subscriber) still get their own
@@ -110,7 +143,7 @@ func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64,
 	if err := hs.Shutdown(shutdownCtx); err != nil && drainErr == nil {
 		return fmt.Errorf("shutdown: %w", err)
 	} else if err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if err := <-errCh; err != nil && drainErr == nil {
 		return err
@@ -119,7 +152,7 @@ func run(addr string, parallel int, cacheDir, storeURL string, memStoreMB int64,
 		// Drained clean: a private temp store has no further use. An
 		// abandoned drain skips this — its jobs still write there.
 		if err := srv.Close(); err != nil {
-			logger.Printf("removing result store: %v", err)
+			logger.Warn("removing result store", "err", err)
 		}
 	}
 	// A timed-out drain abandoned running jobs; exit nonzero with that

@@ -38,6 +38,7 @@ import (
 	"pacram/internal/exp"
 	"pacram/internal/scenario"
 	"pacram/internal/service"
+	"pacram/internal/telemetry"
 )
 
 func main() {
@@ -86,6 +87,7 @@ run flags:
   -csv DIR         also write per-scenario CSV files
   -quiet           suppress progress/ETA output on stderr
   -cpuprofile FILE write a CPU profile (go tool pprof)
+  -trace FILE      record a per-cell span trace as JSONL (see cmd/tracetool)
 `)
 }
 
@@ -239,6 +241,7 @@ func run(args []string) error {
 		csvDir   = fs.String("csv", "", "directory to write per-scenario CSV files")
 		quiet    = fs.Bool("quiet", false, "suppress progress/ETA output on stderr")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		traceOut = fs.String("trace", "", "record a per-cell span trace (JSONL) to this file (see cmd/tracetool)")
 	)
 	// Accept flags before or after the scenario names.
 	var names []string
@@ -271,6 +274,8 @@ func run(args []string) error {
 			return fmt.Errorf("run: -store is a local execution knob; configure the server's -store instead")
 		case *cpuprof != "":
 			return fmt.Errorf("run: -cpuprofile profiles local execution; it cannot profile the server")
+		case *traceOut != "":
+			return fmt.Errorf("run: -trace records local execution; use pacramd's -trace for server-side traces")
 		}
 		return runRemote(service.NewClient(*remote), names, *csvDir, *quiet)
 	}
@@ -292,12 +297,30 @@ func run(args []string) error {
 		progress = os.Stderr
 	}
 	opt := scenario.RunOptions{Parallel: *parallel, CacheDir: *cacheDir, StoreURL: *storeURL, Progress: progress}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		tw := telemetry.NewTraceWriter(f)
+		// Tracing is observability: surface a failed write as a warning
+		// after the runs, never as a failed sweep.
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "scenario: warning: trace write degraded: %v\n", err)
+			}
+		}()
+		opt.Trace = tw
+	}
 
 	for _, name := range names {
 		s, err := load(name)
 		if err != nil {
 			return err
 		}
+		// Each scenario's spans carry its name as the trace ID, so a
+		// multi-scenario run yields one file tracetool can still group.
+		opt.TraceID = s.Name
 		tbl, err := scenario.Run(s, opt)
 		if err != nil {
 			return err

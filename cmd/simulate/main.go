@@ -57,8 +57,16 @@ func realMain() error {
 		storeURL  = flag.String("store", "", "also read/write cells on a pacramd cache origin at this URL")
 		quiet     = flag.Bool("quiet", false, "suppress progress/ETA output on stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		profile   = flag.Bool("profile", false, "with -tracefile: attribute simulated work per layer (sim.Options.Profile)")
 	)
 	flag.Parse()
+
+	// Profile attribution is a property of one direct sim.Run; the table
+	// experiments run cells through the result cache, where a profiled
+	// and an unprofiled run are deliberately the same entry.
+	if *profile && *traceFile == "" {
+		return fmt.Errorf("-profile requires -tracefile (experiments cache per-cell results; profile wall-time attribution is per direct run)")
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -123,7 +131,7 @@ func realMain() error {
 	}
 
 	if *traceFile != "" {
-		return runTraceFile(*traceFile, opt)
+		return runTraceFile(*traceFile, opt, *profile)
 	}
 
 	ids := strings.Split(*expFlag, ",")
@@ -170,8 +178,9 @@ func runExperiment(id string, opt exp.SysOptions) (*exp.Table, error) {
 }
 
 // runTraceFile replays a trace file on a single core and prints the
-// detailed statistics.
-func runTraceFile(path string, o exp.SysOptions) error {
+// detailed statistics; with profile, also the per-layer attribution of
+// where simulated and wall-clock time went.
+func runTraceFile(path string, o exp.SysOptions, profile bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -194,6 +203,7 @@ func runTraceFile(path string, o exp.SysOptions) error {
 	if len(o.Mitigations) == 1 {
 		sopt.Mitigation = o.Mitigations[0]
 	}
+	sopt.Profile = profile
 	res, err := sim.Run(sopt)
 	if err != nil {
 		return err
@@ -201,6 +211,18 @@ func runTraceFile(path string, o exp.SysOptions) error {
 	fmt.Printf("trace %s (%d records): IPC %.4f, %d reads, %d writes, %d ACTs, prev-ref busy %.3f%%, energy %.3g J\n",
 		path, len(recs), res.IPC[0], res.Stats.Reads, res.Stats.Writes,
 		res.Stats.Acts, 100*res.PrevRefBusyFraction, res.Energy.Total())
+	if p := res.Profile; p != nil {
+		fmt.Printf("profile (%s engine): %d cycles in %d steps", p.Engine, p.SimCycles, p.Steps)
+		if p.Leaps > 0 {
+			fmt.Printf(" + %d leaps covering %d cycles (%.1f%%)",
+				p.Leaps, p.LeapCycles, 100*float64(p.LeapCycles)/float64(p.SimCycles))
+		}
+		fmt.Printf("\n  cores: %d ticks, %d stall-skips, %.1fms; controller: %.1fms; wall %.1fms (%.2fM cycles/s)\n",
+			p.CoreTicks, p.CoreStallSkips, float64(p.CoreNanos)/1e6,
+			float64(p.CtrlNanos)/1e6, float64(p.WallNanos)/1e6, p.CyclesPerSecond/1e6)
+		fmt.Printf("  commands: %d refreshes, %d RFMs, %d preventive refreshes\n",
+			p.Refreshes, p.RFMs, p.PreventiveRefreshes)
+	}
 	return nil
 }
 

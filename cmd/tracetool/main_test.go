@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pacram/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary from the current output")
+
+// TestSummaryGolden pins the full report byte for byte against a
+// committed fixture trace: the fixture has two computed cells (one
+// dominating the critical path), a cached cell and a coalesced cell,
+// so every section exercises every outcome.
+func TestSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join("testdata", "sample.trace.jsonl"), 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sample.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary differs from golden (re-run with -update to accept):\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSummaryOnRealTrace feeds the summarizer a trace the runner
+// actually recorded (via the telemetry writer round trip) rather than
+// a hand-written fixture — the shape contract between producer and
+// consumer, without depending on wall-clock values.
+func TestSummaryOnRealTrace(t *testing.T) {
+	spans := []telemetry.Span{
+		{Trace: "t", ID: "c0", Name: "cell", Cell: "k0", Start: 100, End: 900, Attrs: map[string]string{"outcome": "computed"}},
+		{Trace: "t", ID: "c0.0", Parent: "c0", Name: "compute", Cell: "k0", Start: 150, End: 850},
+	}
+	var file bytes.Buffer
+	tw := telemetry.NewTraceWriter(&file)
+	tw.WriteAll(spans)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadSpans(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := summarize(&out, back, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace t: 1 cells (1 computed)", "compute", "critical path"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSummaryErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarize(&out, nil, 3, 20); err == nil {
+		t.Error("empty trace accepted")
+	}
+	orphan := []telemetry.Span{{Trace: "t", ID: "x.0", Parent: "x", Name: "compute", Start: 0, End: 1}}
+	if err := summarize(&out, orphan, 3, 20); err == nil || !strings.Contains(err.Error(), "unknown parent") {
+		t.Errorf("orphan span: got %v", err)
+	}
+}

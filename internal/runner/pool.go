@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Event describes one finished cell of a Run invocation, for callers
@@ -28,6 +29,14 @@ type Event struct {
 	// planned jobs. Done is unique and dense per invocation (1..Total)
 	// even though events arrive concurrently.
 	Done, Total int
+	// WaitNanos is how long the cell waited before work could start:
+	// for a pool slot when it was computed here, for another
+	// invocation's in-flight computation when coalesced. 0 for store
+	// hits.
+	WaitNanos int64
+	// ComputeNanos is the compute-phase duration; 0 unless the cell
+	// was computed by this invocation.
+	ComputeNanos int64
 }
 
 // flight is one in-progress computation of a cell, shared by every
@@ -62,6 +71,10 @@ type flight[T any] struct {
 // repository are).
 type Pool[T any] struct {
 	slots chan struct{}
+
+	// metrics is the resolved instrument set; zero (all nil
+	// instruments, every operation a no-op) until Instrument is called.
+	metrics poolMetrics
 
 	mu       sync.Mutex
 	flights  map[string]*flight[T]
@@ -156,14 +169,18 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 	// warns exactly once — naming the cell, and for read failures where
 	// the bad bytes live — and the run continues uncached; the mutex
 	// keeps concurrent warnings from interleaving on a shared writer.
-	warn := func(format string, args ...any) {
+	// OnWarning gets the structured form; the text surfaces get
+	// Warning.Message, byte-identical to what they always printed.
+	warn := func(w Warning) {
 		warnMu.Lock()
 		defer warnMu.Unlock()
 		switch {
+		case opt.OnWarning != nil:
+			opt.OnWarning(w)
 		case opt.Warnf != nil:
-			opt.Warnf(format, args...)
+			opt.Warnf("%s", w.Message())
 		case opt.Progress != nil:
-			fmt.Fprintf(opt.Progress, "\n"+format+"\n", args...)
+			fmt.Fprintf(opt.Progress, "\n%s\n", w.Message())
 		}
 	}
 	emit := func(ev Event) {
@@ -184,6 +201,8 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 			for i := range feed {
 				j := jobs[i]
 				hash := hashCell(opt.Fingerprint, opt.Seed, j.Key)
+				cellStart := time.Now()
+				ct := newCellTrace(opt.Trace, opt.TraceID, j.Key, i, cellStart)
 
 				// Atomic check-or-register: either adopt the in-flight
 				// computation of this cell, or become its owner.
@@ -191,16 +210,27 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 				if f, ok := p.flights[hash]; ok {
 					p.mu.Unlock()
 					<-f.done
+					now := time.Now()
+					wait := now.Sub(cellStart)
+					ct.phase("coalesce-wait", cellStart, now)
+					outcome := OutcomeCoalesced
 					if f.err != nil {
 						errs[i] = f.err
 						fail()
+						outcome = OutcomeFailed
 					} else {
 						results[i] = f.res
+						if f.cached {
+							outcome = OutcomeCached
+						}
 					}
+					p.metrics.cellDone(outcome, wait, 0)
+					ct.finish(outcome, now)
 					// An owner that merely loaded the cell from the
 					// store didn't compute anything to coalesce onto;
 					// report those waiters as cache hits.
-					emit(Event{Key: j.Key, Cached: f.cached, Coalesced: !f.cached, Err: f.err})
+					emit(Event{Key: j.Key, Cached: f.cached, Coalesced: !f.cached, Err: f.err,
+						WaitNanos: int64(wait)})
 					continue
 				}
 				f := &flight[T]{done: make(chan struct{})}
@@ -223,21 +253,37 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 				}
 
 				if opt.Store != nil {
+					getStart := time.Now()
 					hit, gerr := GetCell(opt.Store, hash, opt.Fingerprint, j.Key, &results[i])
+					ct.phase("store-get", getStart, time.Now())
 					if gerr != nil {
-						warn("runner: warning: degraded cache read for %v (recomputing if needed)", gerr)
+						warn(warningFor(j.Key, "get", gerr))
 					}
 					if hit {
 						f.cached = true
 						finish(results[i], nil)
+						now := time.Now()
+						p.metrics.cellDone(OutcomeCached, now.Sub(cellStart), 0)
+						ct.finish(OutcomeCached, now)
 						emit(Event{Key: j.Key, Cached: true})
 						continue
 					}
 				}
 
+				waitStart := time.Now()
+				p.metrics.waiting.Inc()
 				p.slots <- struct{}{}
+				p.metrics.waiting.Dec()
+				p.metrics.inflight.Inc()
+				computeStart := time.Now()
+				ct.phase("pool-wait", waitStart, computeStart)
 				res, err := j.Run(Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)})
+				computeEnd := time.Now()
+				p.metrics.inflight.Dec()
 				<-p.slots
+				ct.phase("compute", computeStart, computeEnd)
+				wait := computeStart.Sub(waitStart)
+				compute := computeEnd.Sub(computeStart)
 				p.mu.Lock()
 				if p.computes != nil {
 					p.computes[j.Key]++
@@ -248,17 +294,28 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 					errs[i] = err
 					fail()
 					finish(res, err)
-					emit(Event{Key: j.Key, Err: err})
+					now := time.Now()
+					p.metrics.cellDone(OutcomeFailed, now.Sub(cellStart), compute)
+					ct.finish(OutcomeFailed, now)
+					emit(Event{Key: j.Key, Err: err,
+						WaitNanos: int64(wait), ComputeNanos: int64(compute)})
 					continue
 				}
 				results[i] = res
 				if opt.Store != nil {
-					if serr := PutCell(opt.Store, hash, opt.Fingerprint, j.Key, res); serr != nil {
-						warn("runner: warning: cannot cache %s (continuing uncached): %v", j.Key, serr)
+					putStart := time.Now()
+					serr := PutCell(opt.Store, hash, opt.Fingerprint, j.Key, res)
+					ct.phase("store-put", putStart, time.Now())
+					if serr != nil {
+						warn(warningFor(j.Key, "put", serr))
 					}
 				}
 				finish(res, nil)
-				emit(Event{Key: j.Key})
+				now := time.Now()
+				p.metrics.cellDone(OutcomeComputed, now.Sub(cellStart), compute)
+				ct.finish(OutcomeComputed, now)
+				emit(Event{Key: j.Key,
+					WaitNanos: int64(wait), ComputeNanos: int64(compute)})
 			}
 		}()
 	}

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"io"
 
+	"pacram/internal/telemetry"
 	"pacram/internal/xrand"
 )
 
@@ -56,6 +59,57 @@ type Options struct {
 	// caller like the sweep service points this at its logger so
 	// operators see when exactly-once degrades to recompute.
 	Warnf func(format string, args ...any)
+	// OnWarning, when non-nil, receives the same degradation warnings
+	// in structured form and takes precedence over Warnf and Progress.
+	// Warning.Message renders the exact text Warnf would have seen, so
+	// switching surfaces loses nothing.
+	OnWarning func(Warning)
+	// Trace, when non-nil, records one span tree per cell (the phases:
+	// store-get, pool-wait, compute, store-put, or coalesce-wait under
+	// a "cell" root) into the writer. A nil writer records nothing at
+	// zero cost. Span IDs are unique per Run invocation; give each
+	// invocation its own TraceID (and typically its own file) to keep
+	// traces separable.
+	Trace *telemetry.TraceWriter
+	// TraceID groups this invocation's spans (a daemon job ID, a
+	// scenario name).
+	TraceID string
+}
+
+// Warning is one non-fatal degradation notice: a failing store
+// operation that cost duplicated work or an uncached result, never a
+// wrong one.
+type Warning struct {
+	// Cell is the job key of the affected cell.
+	Cell string
+	// Op is the failing store operation: "get" or "put".
+	Op string
+	// Location names where the offending bytes live when the backend
+	// can say (corrupt disk entries above all); "" otherwise.
+	Location string
+	// Err is the failure: a *CellError for reads, the backend's error
+	// for writes.
+	Err error
+}
+
+// Message renders the warning exactly as Options.Warnf receives it,
+// byte-for-byte what the free-text surface always printed.
+func (w Warning) Message() string {
+	if w.Op == "get" {
+		return fmt.Sprintf("runner: warning: degraded cache read for %v (recomputing if needed)", w.Err)
+	}
+	return fmt.Sprintf("runner: warning: cannot cache %s (continuing uncached): %v", w.Cell, w.Err)
+}
+
+// warningFor builds the structured form of a store degradation,
+// lifting the location out of a *CellError when one is available.
+func warningFor(cell, op string, err error) Warning {
+	w := Warning{Cell: cell, Op: op, Err: err}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		w.Location = ce.Location
+	}
+	return w
 }
 
 // WithStore returns a copy of the options with the standard store

@@ -121,30 +121,55 @@ type entry struct {
 	Result      json.RawMessage `json:"result"`
 }
 
+// CellError is the error type GetCell returns: a store failure or
+// corrupt entry attributed to one cell. The rendered message is
+// unchanged from when these were plain fmt.Errorf values; the struct
+// fields exist so structured consumers (the daemon's slog warnings)
+// can log cell and location as fields instead of re-parsing the text.
+type CellError struct {
+	// Cell is the job key the failing entry belongs to.
+	Cell string
+	// Location names where the bad bytes live when the backend can say
+	// (a file path, a URL); "" otherwise.
+	Location string
+	msg      string
+	err      error
+}
+
+func (e *CellError) Error() string { return e.msg }
+
+// Unwrap exposes the backend error, nil for corrupt-entry failures
+// detected during validation.
+func (e *CellError) Unwrap() error { return e.err }
+
 // GetCell loads the cell stored under hash into out, reporting whether
 // it was a usable hit. Validation happens here, above the backend:
 // mismatched key or fingerprint (a different build above all) is a
 // plain miss, while backend failures and corrupt entries come back as
-// an error naming the cell — callers recompute either way, so a wrong
-// result is never replayed, but only genuine degradation is worth a
-// warning.
+// a *CellError naming the cell — callers recompute either way, so a
+// wrong result is never replayed, but only genuine degradation is
+// worth a warning.
 func GetCell(s Store, hash, fingerprint, key string, out any) (bool, error) {
 	data, ok, err := s.Get(hash)
 	if err != nil {
-		return false, fmt.Errorf("cell %s: %w", key, err)
+		return false, &CellError{Cell: key, msg: fmt.Sprintf("cell %s: %v", key, err), err: err}
 	}
 	if !ok {
 		return false, nil
 	}
 	var e entry
 	if json.Unmarshal(data, &e) != nil {
-		return false, fmt.Errorf("cell %s: corrupt cache entry%s", key, locate(s, hash))
+		loc := locate(s, hash)
+		return false, &CellError{Cell: key, Location: loc,
+			msg: fmt.Sprintf("cell %s: corrupt cache entry%s", key, at(loc))}
 	}
 	if e.Key != key || e.Fingerprint != fullFingerprint(fingerprint) {
 		return false, nil
 	}
 	if uerr := json.Unmarshal(e.Result, out); uerr != nil {
-		return false, fmt.Errorf("cell %s: decoding cached result%s: %v", key, locate(s, hash), uerr)
+		loc := locate(s, hash)
+		return false, &CellError{Cell: key, Location: loc, err: uerr,
+			msg: fmt.Sprintf("cell %s: decoding cached result%s: %v", key, at(loc), uerr)}
 	}
 	return true, nil
 }
@@ -165,9 +190,17 @@ func PutCell(s Store, hash, fingerprint, key string, v any) error {
 // locate names where a corrupt entry lives when the backend can say.
 func locate(s Store, hash string) string {
 	if l, ok := s.(Locator); ok {
-		return " at " + l.Locate(hash)
+		return l.Locate(hash)
 	}
 	return ""
+}
+
+// at renders a location as a message suffix.
+func at(loc string) string {
+	if loc == "" {
+		return ""
+	}
+	return " at " + loc
 }
 
 // OpenStore composes the standard front-end store stack from the two

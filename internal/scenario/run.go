@@ -11,6 +11,7 @@ import (
 	"pacram/internal/runner"
 	"pacram/internal/sim"
 	"pacram/internal/stats"
+	"pacram/internal/telemetry"
 )
 
 // RunOptions configures one scenario execution.
@@ -46,6 +47,14 @@ type RunOptions struct {
 	// Warnf, when non-nil, receives non-fatal degradation warnings
 	// (see runner.Options.Warnf).
 	Warnf func(format string, args ...any)
+	// OnWarning, when non-nil, receives degradation warnings in
+	// structured form and takes precedence over Warnf (see
+	// runner.Options.OnWarning).
+	OnWarning func(runner.Warning)
+	// Trace, when non-nil, records one span tree per cell into the
+	// writer; TraceID groups the spans (see runner.Options.Trace).
+	Trace   *telemetry.TraceWriter
+	TraceID string
 }
 
 // Run compiles and executes a spec in one call.
@@ -74,6 +83,9 @@ func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
 		Store:       opt.Store,
 		OnEvent:     opt.OnEvent,
 		Warnf:       opt.Warnf,
+		OnWarning:   opt.OnWarning,
+		Trace:       opt.Trace,
+		TraceID:     opt.TraceID,
 	}
 	if ropt.Store == nil {
 		var err error

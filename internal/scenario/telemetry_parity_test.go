@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"pacram/internal/runner"
+	"pacram/internal/sim"
+	"pacram/internal/telemetry"
+)
+
+// TestCatalogTelemetryPassivity is the telemetry half of the passivity
+// contract at table granularity: every built-in scenario, run with the
+// full observability surface enabled — an instrumented pool, a span
+// trace writer, per-cell events and structured warnings — must emit
+// table and CSV bytes identical to a bare run. The sim-level half
+// (Options.Profile) lives in internal/sim's profile suite.
+func TestCatalogTelemetryPassivity(t *testing.T) {
+	specs, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if testing.Short() && s.Name != "refresh-stress" {
+				t.Skip("short mode: one representative scenario")
+			}
+			s.Sim.Instructions = min(s.Sim.Instructions, 2_000)
+			s.Sim.Warmup = min(s.Sim.Warmup, 200)
+
+			plain, err := Run(s, RunOptions{Parallel: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantTable, wantCSV bytes.Buffer
+			if err := plain.Fprint(&wantTable); err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.WriteCSV(&wantCSV); err != nil {
+				t.Fatal(err)
+			}
+
+			reg := telemetry.New()
+			pool := runner.NewPool[sim.Result](2)
+			pool.Instrument(reg)
+			var traceBuf bytes.Buffer
+			tw := telemetry.NewTraceWriter(&traceBuf)
+			var events int
+			observed, err := Run(s, RunOptions{
+				Pool:      pool,
+				Trace:     tw,
+				TraceID:   s.Name,
+				OnEvent:   func(runner.Event) { events++ },
+				OnWarning: func(runner.Warning) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			var gotTable, gotCSV bytes.Buffer
+			if err := observed.Fprint(&gotTable); err != nil {
+				t.Fatal(err)
+			}
+			if err := observed.WriteCSV(&gotCSV); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotTable.Bytes(), wantTable.Bytes()) {
+				t.Errorf("telemetry changed the table bytes:\n--- observed ---\n%s--- bare ---\n%s",
+					gotTable.Bytes(), wantTable.Bytes())
+			}
+			if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+				t.Errorf("telemetry changed the CSV bytes")
+			}
+
+			// The observability surface actually observed: one event and
+			// one root span per cell, and the pool counted every outcome.
+			p, err := s.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if events != p.Jobs() {
+				t.Errorf("%d events for %d cells", events, p.Jobs())
+			}
+			spans, err := telemetry.ReadSpans(&traceBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roots := 0
+			for _, sp := range spans {
+				if sp.Parent == "" {
+					roots++
+				}
+			}
+			if roots != p.Jobs() {
+				t.Errorf("%d root spans for %d cells", roots, p.Jobs())
+			}
+			var counted int64
+			for _, fam := range reg.Snapshot() {
+				if fam.Name == "pacram_pool_cells_total" {
+					for _, ser := range fam.Series {
+						counted += int64(*ser.Value)
+					}
+				}
+			}
+			if counted != int64(p.Jobs()) {
+				t.Errorf("pool counted %d cells, ran %d", counted, p.Jobs())
+			}
+		})
+	}
+}

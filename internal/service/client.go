@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pacram/internal/runner"
+	"pacram/internal/telemetry"
 )
 
 // Client talks to a pacramd server. The zero value is not usable;
@@ -104,6 +105,14 @@ func (c *Client) Catalog() ([]CatalogEntry, error) {
 // lines `scenario metrics` prints locally.
 func (c *Client) MetricDocs() ([]string, error) {
 	var out []string
+	err := c.getJSON(pathMetricDocs, &out)
+	return out, err
+}
+
+// Metrics fetches the server's telemetry registry as a JSON snapshot
+// (the same series /metrics serves in Prometheus text form).
+func (c *Client) Metrics() ([]telemetry.FamilySnapshot, error) {
+	var out []telemetry.FamilySnapshot
 	err := c.getJSON(pathMetrics, &out)
 	return out, err
 }

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"pacram/internal/runner"
 	"pacram/internal/scenario"
 	"pacram/internal/sim"
+	"pacram/internal/telemetry"
 )
 
 // renderTable and renderCSV produce the byte-exact artifacts the CLI
@@ -49,14 +52,20 @@ type Config struct {
 	// MemStoreBytes sizes the in-memory LRU tier in front of disk:
 	// 0 means runner.DefaultMemStoreBytes, < 0 disables the tier.
 	MemStoreBytes int64
-	// Logf, when non-nil, receives one line per lifecycle event
-	// (submission, completion, drain).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured lifecycle events
+	// (submission, completion, drain) and store-degradation warnings
+	// with cell/location fields. Nil discards logs.
+	Logger *slog.Logger
 	// RetainJobs caps how many finished jobs (with their event
 	// histories and rendered artifacts) stay fetchable; once exceeded,
 	// the oldest finished jobs are evicted on new submissions. Running
 	// jobs are never evicted. <= 0 means the default of 256.
 	RetainJobs int
+	// TraceDir, when non-empty, records one span-tree trace per job as
+	// <TraceDir>/<jobID>.trace.jsonl (see cmd/tracetool for the
+	// summarizer). Tracing is observability: a failing trace file is
+	// logged, never fails the job.
+	TraceDir string
 }
 
 const defaultRetainJobs = 256
@@ -73,8 +82,15 @@ type Server struct {
 	store        *runner.Tiered
 	disk         *runner.DiskStore
 	privateStore bool
-	logf         func(string, ...any)
+	log          *slog.Logger
 	mux          *http.ServeMux
+	traceDir     string
+
+	// reg is the server's telemetry registry: pool, store, job and SSE
+	// series, served at /metrics (Prometheus text) and /api/v1/metrics
+	// (JSON). metrics holds the resolved service-level instruments.
+	reg     *telemetry.Registry
+	metrics serverMetrics
 
 	draining atomic.Bool
 	running  sync.WaitGroup // one count per executing job
@@ -100,20 +116,22 @@ type job struct {
 	total    int
 	rows     int
 
-	mu        sync.Mutex
-	changed   chan struct{}
-	state     string
-	events    []CellEvent
-	done      int
-	cached    int
-	coalesced int
-	errMsg    string
-	tableID   string
-	tableText []byte
-	csvText   []byte
-	store     []runner.TierStats // tier counters snapshot at completion
-	submitted time.Time
-	finished  time.Time
+	mu            sync.Mutex
+	changed       chan struct{}
+	state         string
+	events        []CellEvent
+	done          int
+	cached        int
+	coalesced     int
+	waitMicros    int64
+	computeMicros int64
+	errMsg        string
+	tableID       string
+	tableText     []byte
+	csvText       []byte
+	store         []runner.TierStats // tier counters snapshot at completion
+	submitted     time.Time
+	finished      time.Time
 }
 
 // New builds a server. The returned server owns its pool and store
@@ -145,16 +163,25 @@ func New(cfg Config) (*Server, error) {
 		store:        runner.NewTiered(tiers...),
 		disk:         disk,
 		privateStore: private,
-		logf:         cfg.Logf,
+		log:          cfg.Logger,
+		reg:          telemetry.New(),
 		jobs:         make(map[string]*job),
 		retain:       cfg.RetainJobs,
+		traceDir:     cfg.TraceDir,
 	}
 	if s.retain <= 0 {
 		s.retain = defaultRetainJobs
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
+	if s.traceDir != "" {
+		if err := os.MkdirAll(s.traceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating trace directory: %w", err)
+		}
+	}
+	s.pool.Instrument(s.reg)
+	s.metrics = newServerMetrics(s.reg, s.store)
 
 	specs, err := scenario.Catalog()
 	if err != nil {
@@ -176,7 +203,9 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+pathHealth, s.handleHealth)
 	mux.HandleFunc("GET "+pathCatalog, s.handleCatalog)
+	mux.HandleFunc("GET "+pathMetricDocs, s.handleMetricDocs)
 	mux.HandleFunc("GET "+pathMetrics, s.handleMetrics)
+	mux.HandleFunc("GET "+pathProm, s.handleProm)
 	mux.HandleFunc("POST "+pathValidate, s.handleValidate)
 	mux.HandleFunc("POST "+pathJobs, s.handleSubmit)
 	mux.HandleFunc("GET "+pathJobs, s.handleList)
@@ -221,7 +250,7 @@ func (s *Server) Close() error {
 // they finished in time.
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
-		s.logf("draining: no longer accepting submissions")
+		s.log.Info("draining: no longer accepting submissions")
 	}
 	// Barrier: a submission that passed its drain re-check holds s.mu
 	// until it has registered with the WaitGroup; acquiring the lock
@@ -237,7 +266,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
-		s.logf("drained: all jobs finished")
+		s.log.Info("drained: all jobs finished")
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain interrupted with jobs still running: %w", ctx.Err())
@@ -268,7 +297,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.catalog)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricDocs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scenario.MetricDocs())
 }
 
@@ -374,7 +403,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.running.Add(1)
 	s.mu.Unlock()
 
-	s.logf("%s: accepted %s (%d cells, %d rows)", j.id, j.scenario, j.total, j.rows)
+	s.metrics.jobsSubmitted.Inc()
+	s.metrics.jobsRunning.Inc()
+	s.log.Info("job accepted",
+		"job", j.id, "scenario", j.scenario, "cells", j.total, "rows", j.rows)
 	go s.execute(j, plan)
 
 	writeJSON(w, http.StatusAccepted, j.status())
@@ -383,21 +415,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // execute runs one job to completion on the shared pool.
 func (s *Server) execute(j *job, plan *scenario.Plan) {
 	defer s.running.Done()
+	defer s.metrics.jobsRunning.Dec()
+	tw := s.openTrace(j.id)
 	tbl, err := plan.Run(scenario.RunOptions{
-		Pool:  s.pool,
-		Store: s.store,
+		Pool:    s.pool,
+		Store:   s.store,
+		Trace:   tw,
+		TraceID: j.id,
 		// A degrading result store must reach the operator's log: it
 		// silently turns exactly-once into recompute-per-submission.
-		Warnf: func(format string, args ...any) {
-			s.logf(j.id+": "+format, args...)
+		OnWarning: func(w runner.Warning) {
+			s.log.Warn("store degraded",
+				"job", j.id, "cell", w.Cell, "op", w.Op,
+				"location", w.Location, "err", w.Err)
 		},
 		OnEvent: func(ev runner.Event) {
 			ce := CellEvent{
-				Key:       ev.Key,
-				Cached:    ev.Cached,
-				Coalesced: ev.Coalesced,
-				Done:      ev.Done,
-				Total:     ev.Total,
+				Key:           ev.Key,
+				Cached:        ev.Cached,
+				Coalesced:     ev.Coalesced,
+				Done:          ev.Done,
+				Total:         ev.Total,
+				WaitMicros:    ev.WaitNanos / 1e3,
+				ComputeMicros: ev.ComputeNanos / 1e3,
 			}
 			if ev.Err != nil {
 				ce.Error = ev.Err.Error()
@@ -405,6 +445,9 @@ func (s *Server) execute(j *job, plan *scenario.Plan) {
 			j.addEvent(ce)
 		},
 	})
+	if cerr := tw.Close(); cerr != nil {
+		s.log.Warn("trace write degraded", "job", j.id, "err", cerr)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
@@ -412,15 +455,37 @@ func (s *Server) execute(j *job, plan *scenario.Plan) {
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
-		s.logf("%s: failed: %v", j.id, err)
+		s.metrics.jobsFailed.Inc()
+		s.log.Error("job failed", "job", j.id, "err", err)
 	} else {
 		j.state = StateDone
 		j.tableID = tbl.ID
 		j.tableText = renderTable(tbl)
 		j.csvText = renderCSV(tbl)
-		s.logf("%s: done (%d cells, %d cached, %d coalesced)", j.id, j.total, j.cached, j.coalesced)
+		s.metrics.jobsDone.Inc()
+		s.log.Info("job done",
+			"job", j.id, "cells", j.total, "cached", j.cached, "coalesced", j.coalesced,
+			"waitMicros", j.waitMicros, "computeMicros", j.computeMicros)
 	}
 	j.broadcastLocked()
+}
+
+// openTrace opens the job's span-trace file under TraceDir. Tracing is
+// observability: any failure is logged and the job runs untraced. The
+// per-cell span trees stream to disk as cells finish; plan.Run closing
+// never happens mid-write because the runner batches each tree under
+// one writer lock, so closing after Run returns flushes a complete
+// file. Returns nil (trace disabled) when TraceDir is unset.
+func (s *Server) openTrace(jobID string) *telemetry.TraceWriter {
+	if s.traceDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(s.traceDir, jobID+".trace.jsonl"))
+	if err != nil {
+		s.log.Warn("trace file creation failed; running untraced", "job", jobID, "err", err)
+		return nil
+	}
+	return telemetry.NewTraceWriter(f)
 }
 
 func (j *job) addEvent(ev CellEvent) {
@@ -438,6 +503,8 @@ func (j *job) addEvent(ev CellEvent) {
 	if ev.Coalesced {
 		j.coalesced++
 	}
+	j.waitMicros += ev.WaitMicros
+	j.computeMicros += ev.ComputeMicros
 	j.broadcastLocked()
 }
 
@@ -457,17 +524,19 @@ func (j *job) status() JobStatus {
 
 func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
-		ID:          j.id,
-		Scenario:    j.scenario,
-		TableID:     j.tableID,
-		State:       j.state,
-		Cells:       j.total,
-		Done:        j.done,
-		Cached:      j.cached,
-		Coalesced:   j.coalesced,
-		Rows:        j.rows,
-		Error:       j.errMsg,
-		SubmittedAt: j.submitted.UTC().Format(time.RFC3339),
+		ID:            j.id,
+		Scenario:      j.scenario,
+		TableID:       j.tableID,
+		State:         j.state,
+		Cells:         j.total,
+		Done:          j.done,
+		Cached:        j.cached,
+		Coalesced:     j.coalesced,
+		Rows:          j.rows,
+		Error:         j.errMsg,
+		WaitMicros:    j.waitMicros,
+		ComputeMicros: j.computeMicros,
+		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339),
 	}
 	if !j.finished.IsZero() {
 		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
@@ -549,6 +618,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	s.metrics.sseSubs.Inc()
+	defer s.metrics.sseSubs.Dec()
 
 	writeEvent := func(event string, v any) bool {
 		data, err := json.Marshal(v)

@@ -28,10 +28,15 @@ import (
 const (
 	pathHealth     = "/healthz"
 	pathCatalog    = "/api/v1/catalog"
+	pathMetricDocs = "/api/v1/metricdocs"
 	pathMetrics    = "/api/v1/metrics"
 	pathValidate   = "/api/v1/validate"
 	pathJobs       = "/api/v1/jobs"
 	pathStoreStats = runner.StorePathPrefix + "/stats"
+	// pathProm is the Prometheus text exposition of the same registry
+	// pathMetrics serves as JSON; it lives outside /api/v1 because
+	// scrapers conventionally expect the bare path.
+	pathProm = "/metrics"
 )
 
 // SubmitRequest asks the server to validate or run one scenario:
@@ -91,6 +96,12 @@ type JobStatus struct {
 	Rows      int `json:"rows"`
 	// Error is the failure message when State is failed.
 	Error string `json:"error,omitempty"`
+	// WaitMicros totals the cells' pool-wait (and coalesce-wait) time;
+	// ComputeMicros totals their compute time. Both accumulate as
+	// cells finish, so a running job shows partial totals. ComputeMicros
+	// exceeding wall time just means parallelism.
+	WaitMicros    int64 `json:"waitMicros,omitempty"`
+	ComputeMicros int64 `json:"computeMicros,omitempty"`
 	// SubmittedAt/FinishedAt are RFC 3339 timestamps (FinishedAt empty
 	// while running).
 	SubmittedAt string `json:"submittedAt"`
@@ -116,6 +127,12 @@ type CellEvent struct {
 	// Done counts the job's finished cells, Total its planned cells.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// WaitMicros is how long the cell waited before work could start
+	// (for a pool slot when computed, for another job's in-flight
+	// computation when coalesced); ComputeMicros its compute duration
+	// (0 unless this job computed it).
+	WaitMicros    int64 `json:"waitMicros,omitempty"`
+	ComputeMicros int64 `json:"computeMicros,omitempty"`
 }
 
 // Error is the uniform non-2xx response body.

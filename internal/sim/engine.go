@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"pacram/internal/cpu"
 	"pacram/internal/memsys"
@@ -43,6 +44,10 @@ type engine struct {
 	ctrl     *memsys.System
 	perCycle bool
 	runnable []bool // per-core runnability, refreshed each step
+	// prof, when non-nil, accumulates work attribution
+	// (Options.Profile). Profiling is observationally passive: the
+	// guards below read state but never change the tick/leap decisions.
+	prof *profCollector
 }
 
 // step advances simulated time by at least one cycle: it classifies
@@ -73,6 +78,12 @@ func (e *engine) step(maxCycles uint64) {
 					limit++ // allow landing on maxCycles+1: the overrun cycle
 				}
 				if target := min(h, limit) - 1; target > e.ctrl.Cycle() {
+					if e.prof != nil {
+						e.prof.leaps++
+						skipped := target - e.ctrl.Cycle()
+						e.prof.leapCycles += skipped
+						e.prof.leapHist.Observe(float64(skipped))
+					}
 					for _, c := range e.cores {
 						c.AdvanceTo(target)
 					}
@@ -86,6 +97,11 @@ func (e *engine) step(maxCycles uint64) {
 	// ticked at all — their cycle counters catch up via AdvanceTo —
 	// which skips the blocked-core retry polling that dominates
 	// saturated workloads.
+	var phaseStart time.Time
+	if e.prof != nil {
+		e.prof.steps++
+		phaseStart = time.Now()
+	}
 	cyc := e.ctrl.Cycle()
 	start := int(cyc % uint64(n))
 	for i := 0; i < n; i++ {
@@ -97,13 +113,27 @@ func (e *engine) step(maxCycles uint64) {
 				// still advances: Core.Cycles()/IPC() stay identical
 				// across engines, not just Result.
 				c.AdvanceTo(cyc + 1)
+				if e.prof != nil {
+					e.prof.coreStallSkips++
+				}
 				continue
 			}
 			c.AdvanceTo(cyc)
 		}
 		c.Tick()
+		if e.prof != nil {
+			e.prof.coreTicks++
+		}
+	}
+	if e.prof != nil {
+		now := time.Now()
+		e.prof.coreNanos += int64(now.Sub(phaseStart))
+		phaseStart = now
 	}
 	e.ctrl.Tick()
+	if e.prof != nil {
+		e.prof.ctrlNanos += int64(time.Since(phaseStart))
+	}
 }
 
 // stallError reports which core is stuck when the cycle budget runs

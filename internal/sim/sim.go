@@ -77,6 +77,14 @@ type Options struct {
 	// ("" = default) or EnginePerCycle. Both produce byte-identical
 	// results; the per-cycle loop exists for parity testing.
 	Engine string
+	// Profile, when true, attributes the run's simulated work per
+	// layer into Result.Profile: step/tick counts, event-horizon leap
+	// sizes, refresh/mitigation command counts, and wall-clock
+	// attribution (cycles per second, core vs controller time).
+	// Profiling is observationally passive — every other Result field
+	// is bit-identical with it on or off — and the field is omitted
+	// from JSON when disabled, so default output bytes are unchanged.
+	Profile bool
 }
 
 // DefaultOptions returns a fast, paper-shaped configuration for the
@@ -115,6 +123,10 @@ type Result struct {
 	PartialFraction float64
 	// ScaledNRH is the threshold the mechanism actually ran with.
 	ScaledNRH int
+	// Profile is the per-layer work attribution, nil unless
+	// Options.Profile was set (and then omitted from JSON, keeping
+	// cached result bytes identical).
+	Profile *Profile `json:",omitempty"`
 }
 
 // SumIPC returns total system throughput.
@@ -231,6 +243,9 @@ func Run(opt Options) (Result, error) {
 	// from the controller cycle, which event-horizon leaps preserve,
 	// so both engines arbitrate identically (see engine.go).
 	eng := &engine{cores: cores, ctrl: ctrl, perCycle: perCycle, runnable: make([]bool, len(cores))}
+	if opt.Profile {
+		eng.prof = newProfCollector()
+	}
 
 	// Warmup.
 	for !allRetired(cores, opt.Warmup) {
@@ -299,6 +314,14 @@ func Run(opt Options) (Result, error) {
 		if tot := full + part; tot > 0 {
 			res.PartialFraction = float64(part) / float64(tot)
 		}
+	}
+	if eng.prof != nil {
+		engineName := opt.Engine
+		if engineName == "" {
+			engineName = EngineEventHorizon
+		}
+		total := ctrl.Stats()
+		res.Profile = eng.prof.report(engineName, ctrl.Cycle(), total.Refs, total.RFMs, total.VRRs)
 	}
 	return res, nil
 }

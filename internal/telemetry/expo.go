@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one series of a family in a JSON snapshot.
+type SeriesSnapshot struct {
+	// Labels qualify the series; empty for unlabeled metrics.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter and gauge series; Histogram carries
+	// histogram series.
+	Value     *float64           `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// gathered is the internal scrape form both read surfaces render from.
+type gathered struct {
+	name, help, typ string
+	bounds          []float64
+	series          []gatheredSeries
+}
+
+type gatheredSeries struct {
+	labels []Label
+	value  float64
+	hist   *HistogramSnapshot
+}
+
+// gather snapshots every family and collector, sorted by family name
+// and, within a family, by label values — deterministic no matter the
+// registration or collection order, which the golden exposition test
+// relies on.
+func (r *Registry) gather() []gathered {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	snap := make([]gathered, 0, len(families))
+	for _, f := range families {
+		g := gathered{name: f.name, help: f.help, typ: f.typ, bounds: f.bounds}
+		f.mu.Lock()
+		for _, key := range f.order {
+			s := f.series[key]
+			var labels []Label
+			if len(f.labels) > 0 {
+				values := strings.Split(key, "\x00")
+				labels = make([]Label, len(f.labels))
+				for i, name := range f.labels {
+					labels[i] = Label{Name: name, Value: values[i]}
+				}
+			}
+			gs := gatheredSeries{labels: labels}
+			switch v := s.(type) {
+			case *Counter:
+				gs.value = float64(v.Value())
+			case *Gauge:
+				gs.value = float64(v.Value())
+			case *Histogram:
+				h := v.snapshot()
+				gs.hist = &h
+			}
+			g.series = append(g.series, gs)
+		}
+		f.mu.Unlock()
+		snap = append(snap, g)
+	}
+
+	for _, collect := range collectors {
+		for _, s := range collect() {
+			idx := -1
+			for i := range snap {
+				if snap[i].name == s.Name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				snap = append(snap, gathered{name: s.Name, help: s.Help, typ: s.Type})
+				idx = len(snap) - 1
+			}
+			snap[idx].series = append(snap[idx].series, gatheredSeries{labels: s.Labels, value: s.Value})
+		}
+	}
+
+	sort.Slice(snap, func(i, j int) bool { return snap[i].name < snap[j].name })
+	for i := range snap {
+		series := snap[i].series
+		sort.SliceStable(series, func(a, b int) bool {
+			return labelKey(series[a].labels) < labelKey(series[b].labels)
+		})
+	}
+	return snap
+}
+
+func labelKey(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// Snapshot returns every family's current state, sorted by name —
+// the JSON metrics surface.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	g := r.gather()
+	out := make([]FamilySnapshot, 0, len(g))
+	for _, fam := range g {
+		fs := FamilySnapshot{Name: fam.name, Type: fam.typ, Help: fam.help}
+		for _, s := range fam.series {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Name] = l.Value
+				}
+			}
+			if s.hist != nil {
+				ss.Histogram = s.hist
+			} else {
+				v := s.value
+				ss.Value = &v
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one line per
+// series, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.gather() {
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if s.hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(s.labels), formatValue(s.value)); err != nil {
+					return err
+				}
+				continue
+			}
+			for i, bound := range s.hist.Bounds {
+				le := append(append([]Label(nil), s.labels...), Label{Name: "le", Value: formatValue(bound)})
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(le), s.hist.Counts[i]); err != nil {
+					return err
+				}
+			}
+			inf := append(append([]Label(nil), s.labels...), Label{Name: "le", Value: "+Inf"})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(inf), s.hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(s.labels), formatValue(s.hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(s.labels), s.hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders {a="x",b="y"}, or nothing without labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a float the shortest way that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a traced operation, serialized as one
+// JSONL line. Spans form trees via Parent: a sweep cell's root span
+// ("cell") parents its phase spans (pool-wait, store-get, compute,
+// store-put, coalesce-wait). IDs are unique within a trace file, not
+// globally.
+type Span struct {
+	// Trace groups the spans of one run (a daemon job ID, a CLI
+	// scenario name).
+	Trace string `json:"trace"`
+	// ID identifies the span within the trace; Parent is the enclosing
+	// span's ID ("" for roots).
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	// Name is the phase: "cell" for roots, else "pool-wait",
+	// "store-get", "compute", "store-put" or "coalesce-wait".
+	Name string `json:"name"`
+	// Cell is the content-addressed job key the span belongs to.
+	Cell string `json:"cell,omitempty"`
+	// Start and End are Unix nanoseconds.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Attrs carry phase metadata ("outcome": computed|cached|coalesced|
+	// failed on cell roots).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall-clock extent.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// TraceWriter persists spans as JSONL, safe for concurrent use. A nil
+// *TraceWriter discards everything, so instrumented code needs no
+// "is tracing on?" branches. Write errors are sticky and surfaced via
+// Err — tracing is observability, so a full disk degrades to a lost
+// trace, never to a failed sweep.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewTraceWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	return tw
+}
+
+// Write appends one span line.
+func (t *TraceWriter) Write(s Span) {
+	if t == nil {
+		return
+	}
+	data, err := json.Marshal(s)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(data, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// WriteAll appends a batch of spans under one lock, keeping a cell's
+// span tree contiguous in the file even when cells finish concurrently.
+func (t *TraceWriter) WriteAll(spans []Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		if t.err != nil {
+			return
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.err = err
+			return
+		}
+		if _, err := t.w.Write(append(data, '\n')); err != nil {
+			t.err = err
+		}
+	}
+}
+
+// Flush pushes buffered spans to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		if cerr := t.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Err returns the first write failure, if any.
+func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadSpans parses a JSONL trace stream. Blank lines are skipped; a
+// malformed line fails with its line number so a truncated file is
+// diagnosable.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(text, &s); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	root := Span{Trace: "job-1", ID: "c0", Name: "cell", Cell: "abc123",
+		Start: 100, End: 500, Attrs: map[string]string{"outcome": "computed"}}
+	child := Span{Trace: "job-1", ID: "c0.1", Parent: "c0", Name: "compute",
+		Cell: "abc123", Start: 150, End: 450}
+	w.Write(root)
+	w.WriteAll([]Span{child})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("spans = %d, want 2", len(got))
+	}
+	if got[0].ID != "c0" || got[0].Attrs["outcome"] != "computed" {
+		t.Fatalf("root = %+v", got[0])
+	}
+	if got[1].Parent != "c0" || got[1].Name != "compute" {
+		t.Fatalf("child = %+v", got[1])
+	}
+	if d := got[0].Duration(); d != 400*time.Nanosecond {
+		t.Fatalf("duration = %v, want 400ns", d)
+	}
+}
+
+func TestTraceNilWriter(t *testing.T) {
+	var w *TraceWriter
+	w.Write(Span{ID: "x"})
+	w.WriteAll([]Span{{ID: "y"}})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("nil flush: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("nil close: %v", err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("nil err: %v", err)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestTraceWriteErrorIsStickyNotFatal(t *testing.T) {
+	w := NewTraceWriter(&failWriter{budget: 8})
+	for i := 0; i < 100; i++ {
+		w.Write(Span{Trace: "t", ID: "c0", Name: "cell", Start: 1, End: 2})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected sticky write error")
+	}
+	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err() = %v, want disk full", err)
+	}
+	// Further writes stay silent no-ops — tracing never fails the sweep.
+	w.Write(Span{ID: "more"})
+}
+
+func TestTraceConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	const writers = 8
+	const spansEach = 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < spansEach; j++ {
+				w.WriteAll([]Span{
+					{Trace: "t", ID: "root", Name: "cell", Start: 1, End: 2},
+					{Trace: "t", ID: "root.1", Parent: "root", Name: "compute", Start: 1, End: 2},
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans after concurrent writes: %v", err)
+	}
+	if len(got) != writers*spansEach*2 {
+		t.Fatalf("spans = %d, want %d", len(got), writers*spansEach*2)
+	}
+	// WriteAll batches must stay contiguous: every root is followed by
+	// its child, never interleaved with another batch.
+	for i := 0; i < len(got); i += 2 {
+		if got[i].Name != "cell" || got[i+1].Name != "compute" {
+			t.Fatalf("batch at %d interleaved: %s then %s", i, got[i].Name, got[i+1].Name)
+		}
+	}
+}
+
+func TestReadSpansMalformedLine(t *testing.T) {
+	in := strings.NewReader(`{"trace":"t","id":"a","name":"cell","start":1,"end":2}
+not json
+`)
+	_, err := ReadSpans(in)
+	if err == nil || !strings.Contains(err.Error(), "trace line 2") {
+		t.Fatalf("err = %v, want trace line 2", err)
+	}
+}
+
+func TestReadSpansSkipsBlankLines(t *testing.T) {
+	in := strings.NewReader("\n{\"trace\":\"t\",\"id\":\"a\",\"name\":\"cell\",\"start\":1,\"end\":2}\n\n")
+	got, err := ReadSpans(in)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("spans = %+v", got)
+	}
+}
