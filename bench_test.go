@@ -342,6 +342,60 @@ func BenchmarkSimRun(b *testing.B) {
 			return opt
 		})
 	})
+	// Future-chip-style wide systems: the hammer-victim mix fanned over
+	// 4 and 8 channels at the future-chip threshold (Graphene NRH 8,
+	// the catalog floor) — the shapes the channel-window advancement
+	// targets. The attacker strides at the channel-interleave row
+	// stride so every channel sees the hammer, and the tracker's
+	// preventive refreshes stall all cores for hundreds of cycles at a
+	// time; under lockstep leaping every channel then ticks at the
+	// union of all channels' event times, while with windows each
+	// ticks only at its own, so event-horizon ns/op must drop sharply
+	// versus per-cycle as channels grow — these two shapes gate that
+	// win (the issue's acceptance bar is >=3x on the 8-channel shape).
+	for _, chans := range []int{4, 8} {
+		name := map[int]string{4: "quad-channel-mix", 8: "octa-channel-mix"}[chans]
+		b.Run(name, func(b *testing.B) {
+			victims := []string{"ycsb-a", "429.mcf", "470.lbm"}
+			benchmarkSimRun(b, func() sim.Options {
+				opt := sim.DefaultOptions()
+				opt.MemCfg = sim.SmallMemConfig()
+				opt.MemCfg.Geometry.Channels = chans
+				opt.Instructions = 12_000
+				opt.Warmup = 1_200
+				opt.Mitigation = "Graphene"
+				opt.NRH = 8
+				mapper, err := ddr.NewMOPMapper(opt.MemCfg.Geometry, opt.MemCfg.MOPWidth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// FootprintMB must hold (2*Sides+1) rows at the widened
+				// row stride; 64MB is enough only below 4 channels.
+				hammer, err := trace.NewAttacker(trace.AttackSpec{
+					Sides:       16,
+					VictimEvery: 2,
+					StrideBytes: int(mapper.RowStrideBytes()),
+					FootprintMB: 128,
+				}, sim.WorkloadSeed(opt.Seed, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.Generators = []trace.Generator{hammer}
+				for i, name := range victims {
+					spec, err := trace.SpecByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gen, err := trace.New(spec, sim.WorkloadSeed(opt.Seed, i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					opt.Generators = append(opt.Generators, gen)
+				}
+				return opt
+			})
+		})
+	}
 	b.Run("hammer-victim", func(b *testing.B) {
 		victims := []string{"ycsb-a", "483.xalancbmk", "456.hmmer"}
 		benchmarkSimRun(b, func() sim.Options {

@@ -129,6 +129,9 @@ func trimProcs(name string) string {
 // must not read as "no regressions". Benchmarks absent from the
 // baseline pass (new benches must not fail the gate that predates
 // them), and a baseline without allocation columns gates only ns/op.
+// A baseline of exactly zero is an exact contract, not a ratio — a
+// zero-alloc hot path stays zero-alloc — so any nonzero value against
+// it is a regression no tolerance can excuse.
 func diff(cur, base *Report, tolerance float64) []string {
 	current := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
@@ -136,7 +139,11 @@ func diff(cur, base *Report, tolerance float64) []string {
 	}
 	var out []string
 	check := func(name, unit string, got, want float64) {
-		if want > 0 && got > want*(1+tolerance) {
+		switch {
+		case want == 0 && got > 0:
+			out = append(out, fmt.Sprintf("%s: %.0f %s vs zero baseline (zero is exact; no tolerance)",
+				name, got, unit))
+		case want > 0 && got > want*(1+tolerance):
 			out = append(out, fmt.Sprintf("%s: %.0f %s vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
 				name, got, unit, want, 100*(got/want-1), tolerance*100))
 		}

@@ -97,6 +97,19 @@ func TestDiffBenchmem(t *testing.T) {
 	if regs := diff(moreBytes, oldBase, 0.20); len(regs) != 0 {
 		t.Fatalf("memless baseline gated allocation columns: %v", regs)
 	}
+	// A zero baseline is exact: one alloc against 0 allocs/op fails,
+	// tolerance notwithstanding — the zero-alloc hot path must stay
+	// zero-alloc (a ratio gate would wave anything through, since
+	// every value is within 20% of zero times 1.2).
+	zeroBase := parseSample(t, strings.Replace(memSample, " 12 allocs/op", " 0 allocs/op", 1))
+	oneAlloc := parseSample(t, strings.Replace(memSample, " 12 allocs/op", " 1 allocs/op", 1))
+	regs = diff(oneAlloc, zeroBase, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero baseline") {
+		t.Fatalf("want one zero-baseline regression, got %v", regs)
+	}
+	if regs := diff(zeroBase, zeroBase, 0.20); len(regs) != 0 {
+		t.Fatalf("zero vs zero regressed: %v", regs)
+	}
 }
 
 func TestTrimProcs(t *testing.T) {

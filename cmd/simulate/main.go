@@ -220,6 +220,12 @@ func runTraceFile(path string, o exp.SysOptions, profile bool) error {
 		fmt.Printf("\n  cores: %d ticks, %d stall-skips, %.1fms; controller: %.1fms; wall %.1fms (%.2fM cycles/s)\n",
 			p.CoreTicks, p.CoreStallSkips, float64(p.CoreNanos)/1e6,
 			float64(p.CtrlNanos)/1e6, float64(p.WallNanos)/1e6, p.CyclesPerSecond/1e6)
+		if p.Windows > 0 {
+			fmt.Printf("  windows: %d (%d parallel) covering %d cycles, %d channel ticks over %d channel-advances, %.1fms (merge %.2fms)\n",
+				p.Windows, p.ParallelWindows, p.WindowCycles,
+				p.WindowChannelTicks, p.WindowChannelsAdvanced,
+				float64(p.WindowNanos)/1e6, float64(p.MergeNanos)/1e6)
+		}
 		fmt.Printf("  commands: %d refreshes, %d RFMs, %d preventive refreshes\n",
 			p.Refreshes, p.RFMs, p.PreventiveRefreshes)
 	}

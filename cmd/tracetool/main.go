@@ -2,7 +2,11 @@
 // (-trace DIR) and scenario run (-trace FILE) record: one JSONL line
 // per span, one root span per simulation cell with its phases
 // (store-get, pool-wait, compute, store-put, coalesce-wait) as
-// children.
+// children. Computed cells also carry the simulator's own wall-time
+// split as sub-phases — sim-cores, sim-ctrl, and on multi-channel
+// shapes sim-windows and sim-window-merge (see sim.Profile) — so the
+// breakdown separates core ticking from controller work from
+// channel-window advancement.
 //
 // Usage:
 //

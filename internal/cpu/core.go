@@ -54,6 +54,12 @@ type Core struct {
 	head   int
 	count  int
 
+	// doneFns caches one completion closure per window slot. A slot
+	// holds at most one outstanding load at a time, so the closure can
+	// be built once at construction and reused for every load landing
+	// in that slot — the issue path then allocates nothing.
+	doneFns []func()
+
 	// pending is the stalled front of the trace: bubbles left to
 	// insert, then possibly a memory access not yet accepted.
 	bubblesLeft int
@@ -74,7 +80,7 @@ type Core struct {
 // New builds a core replaying gen through mem.
 func New(id int, gen trace.Generator, mem MemoryPort) *Core {
 	probe, _ := mem.(QueueProbe)
-	return &Core{
+	c := &Core{
 		id:     id,
 		gen:    gen,
 		mem:    mem,
@@ -82,6 +88,15 @@ func New(id int, gen trace.Generator, mem MemoryPort) *Core {
 		window: make([]slot, DefaultWindowSize),
 		width:  DefaultWidth,
 	}
+	c.doneFns = make([]func(), len(c.window))
+	for i := range c.doneFns {
+		idx := i
+		c.doneFns[i] = func() {
+			c.window[idx].done = true
+			c.loadsOut--
+		}
+	}
+	return c
 }
 
 // ID returns the core's index.
@@ -148,10 +163,7 @@ func (c *Core) Tick() {
 		// clobbered; it is only counted if the issue succeeds.
 		idx := (c.head + c.count) % len(c.window)
 		c.window[idx] = slot{done: false}
-		issued := c.mem.Issue(rec.Addr, false, func() {
-			c.window[idx].done = true
-			c.loadsOut--
-		})
+		issued := c.mem.Issue(rec.Addr, false, c.doneFns[idx])
 		if !issued {
 			break // read queue full; retry next cycle
 		}

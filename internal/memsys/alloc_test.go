@@ -1,0 +1,61 @@
+package memsys_test
+
+import (
+	"testing"
+
+	"pacram/internal/ddr"
+	"pacram/internal/memsys"
+)
+
+// TestControllerSteadyStateAllocs is the unit-level half of the
+// zero-alloc gate (the benchjson columns on BenchmarkControllerThroughput
+// are the CI half): once the queues, completion heap and request
+// freelist have grown to their steady-state capacity, the demand
+// request path — issue with completion callbacks, write drains,
+// scheduling and firing completions — must not allocate at all.
+func TestControllerSteadyStateAllocs(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	g := ddr.PaperSystem()
+	g.Rows = 1024
+	cfg.Geometry = g
+	c, err := memsys.NewController(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := ddr.NewMOPMapper(cfg.Geometry, cfg.MOPWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	done := func() { fired++ }
+	n := 0
+	step := func() {
+		cyc := c.Cycle()
+		switch {
+		case cyc%3 == 0:
+			n++
+			a := ddr.Address{BankGroup: n % 8, Bank: n % 4, Row: n % 512, Column: n % cfg.Geometry.Columns}
+			c.Issue(mapper.Encode(a), false, done)
+		case cyc%7 == 0:
+			a := ddr.Address{Bank: int(cyc) % 4, Row: int(cyc) % 64}
+			c.Issue(mapper.Encode(a), true, nil)
+		}
+		c.Tick()
+	}
+
+	for i := 0; i < 60_000; i++ {
+		step()
+	}
+	if fired == 0 {
+		t.Fatal("no completions fired during warmup — the loop exercises nothing")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 2_000; i++ {
+			step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state request path allocates: %.1f allocs per 2000-cycle block", allocs)
+	}
+}

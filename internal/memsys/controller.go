@@ -75,6 +75,16 @@ type Controller struct {
 	vrrQ          []vrrReq
 	rfmQ          []rfmReq
 
+	// freeReqs recycles Request objects. Requests leave the queues only
+	// through issueColumn, which parks them here; the issue paths reuse
+	// them so the steady-state request path allocates nothing
+	// (TestControllerSteadyStateAllocs and the benchjson alloc gate).
+	freeReqs []*Request
+	// demandDone counts queued reads carrying a Done callback. It lets
+	// VisibleHorizon tell "a core is waiting on this channel" from pure
+	// mitigation-metadata traffic without scanning the read queue.
+	demandDone int
+
 	completions completionHeap
 	cycle       uint64
 	busUntil    uint64 // data bus (single channel)
@@ -86,8 +96,10 @@ type Controller struct {
 	// tick was pure clock advance; see Events.
 	events uint64
 
-	// scratch is NextEvent's reusable per-bank dedup bitmap.
-	scratch []bool
+	// scratch is NextEvent's reusable per-bank dedup bitmap;
+	// victimScratch is victimRows' reusable backing array.
+	scratch       []bool
+	victimScratch []int
 
 	// cached cycle conversions
 	cRCD, cRP, cRAS, cCL, cCWL, cBL, cCCD, cRRD, cFAW, cWR, cRTP, cWTR uint64
@@ -193,7 +205,8 @@ func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 		if len(c.writeQ) >= c.cfg.WriteQueue {
 			return false
 		}
-		req := &Request{Addr: c.mapper.Decode(addr), Line: line, Write: true, Arrival: c.cycle}
+		req := c.getRequest()
+		*req = Request{Addr: c.mapper.Decode(addr), Line: line, Write: true, Arrival: c.cycle}
 		c.indexRequest(req)
 		c.writeQ = append(c.writeQ, req)
 		return true
@@ -211,9 +224,13 @@ func (c *Controller) Issue(addr uint64, write bool, done func()) bool {
 			return true
 		}
 	}
-	req := &Request{Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle}
+	req := c.getRequest()
+	*req = Request{Addr: c.mapper.Decode(addr), Line: line, Write: false, Done: done, Arrival: c.cycle}
 	c.indexRequest(req)
 	c.readQ = append(c.readQ, req)
+	if done != nil {
+		c.demandDone++
+	}
 	return true
 }
 
@@ -227,7 +244,8 @@ func (c *Controller) IssueDecoded(a ddr.Address, line uint64, write bool, done f
 		if len(c.writeQ) >= c.cfg.WriteQueue {
 			return false
 		}
-		req := &Request{Addr: a, Line: line, Write: true, Arrival: c.cycle}
+		req := c.getRequest()
+		*req = Request{Addr: a, Line: line, Write: true, Arrival: c.cycle}
 		c.indexRequest(req)
 		c.writeQ = append(c.writeQ, req)
 		return true
@@ -245,10 +263,26 @@ func (c *Controller) IssueDecoded(a ddr.Address, line uint64, write bool, done f
 			return true
 		}
 	}
-	req := &Request{Addr: a, Line: line, Write: false, Done: done, Arrival: c.cycle}
+	req := c.getRequest()
+	*req = Request{Addr: a, Line: line, Write: false, Done: done, Arrival: c.cycle}
 	c.indexRequest(req)
 	c.readQ = append(c.readQ, req)
+	if done != nil {
+		c.demandDone++
+	}
 	return true
+}
+
+// getRequest returns a recycled Request, or a fresh one while the pool
+// is warming up. The caller overwrites every field.
+func (c *Controller) getRequest() *Request {
+	if n := len(c.freeReqs); n > 0 {
+		req := c.freeReqs[n-1]
+		c.freeReqs[n-1] = nil
+		c.freeReqs = c.freeReqs[:n-1]
+		return req
+	}
+	return new(Request)
 }
 
 // indexRequest fills the request's cached bank indices.
@@ -265,14 +299,16 @@ func (c *Controller) queueMeta(bankFlat int, reads, writes int) {
 	a.Row = geo.Rows - 1 // metadata region: last row of the bank
 	for i := 0; i < reads && len(c.readQ) < c.cfg.ReadQueue; i++ {
 		a.Column = (int(c.stats.MetaReads) + i) % geo.Columns
-		req := &Request{Addr: a, Write: false, Arrival: c.cycle, Meta: true}
+		req := c.getRequest()
+		*req = Request{Addr: a, Write: false, Arrival: c.cycle, Meta: true}
 		c.indexRequest(req)
 		c.readQ = append(c.readQ, req)
 		c.stats.MetaReads++
 	}
 	for i := 0; i < writes && len(c.writeQ) < c.cfg.WriteQueue; i++ {
 		a.Column = (int(c.stats.MetaWrites) + i) % geo.Columns
-		req := &Request{Addr: a, Write: true, Arrival: c.cycle, Meta: true}
+		req := c.getRequest()
+		*req = Request{Addr: a, Write: true, Arrival: c.cycle, Meta: true}
 		c.indexRequest(req)
 		c.writeQ = append(c.writeQ, req)
 		c.stats.MetaWrites++
@@ -461,12 +497,14 @@ func (c *Controller) recordVRRLatency(holdNs float64) {
 	}
 }
 
-// victimRows returns the rows within the blast radius of aggr.
+// victimRows returns the rows within the blast radius of aggr. The
+// returned slice aliases a per-controller scratch buffer, valid until
+// the next call.
 func (c *Controller) victimRows(aggr int) []int {
 	if aggr < 0 {
 		return nil
 	}
-	rows := make([]int, 0, 2*c.cfg.BlastRadius)
+	rows := c.victimScratch[:0]
 	for d := 1; d <= c.cfg.BlastRadius; d++ {
 		if aggr-d >= 0 {
 			rows = append(rows, aggr-d)
@@ -475,6 +513,7 @@ func (c *Controller) victimRows(aggr int) []int {
 			rows = append(rows, aggr+d)
 		}
 	}
+	c.victimScratch = rows
 	return rows
 }
 
@@ -603,7 +642,8 @@ func (c *Controller) issuePRE(b int) {
 	c.stats.Pres++
 }
 
-// issueColumn issues the RD/WR for (*q)[i] and removes it.
+// issueColumn issues the RD/WR for (*q)[i], removes it from the queue
+// and recycles the Request.
 func (c *Controller) issueColumn(i int, q *[]*Request, b int) {
 	c.events++
 	req := (*q)[i]
@@ -627,7 +667,10 @@ func (c *Controller) issueColumn(i int, q *[]*Request, b int) {
 		}
 		if req.Done != nil {
 			c.completions.schedule(latency, req.Done)
+			c.demandDone--
 		}
 	}
 	*q = append((*q)[:i], (*q)[i+1:]...)
+	req.Done = nil // the heap holds its own copy; don't retain it here
+	c.freeReqs = append(c.freeReqs, req)
 }

@@ -22,8 +22,6 @@
 package memsys
 
 import (
-	"container/heap"
-
 	"pacram/internal/ddr"
 )
 
@@ -48,31 +46,60 @@ type completion struct {
 	fn func()
 }
 
-// completionHeap is a min-heap of completions by cycle.
+// completionHeap is a min-heap of completions by cycle. The sift
+// routines are hand-rolled rather than container/heap so schedule and
+// pop move concrete structs instead of boxing each completion in an
+// interface (one heap allocation per push and per pop, on the hottest
+// path the controller has). The sift order replicates container/heap
+// exactly, so the firing order of same-cycle completions is unchanged.
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+func (h *completionHeap) schedule(at uint64, fn func()) {
+	*h = append(*h, completion{at: at, fn: fn})
+	s := *h
+	for j := len(s) - 1; j > 0; {
+		i := (j - 1) / 2
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
 }
 
-func (h *completionHeap) schedule(at uint64, fn func()) {
-	heap.Push(h, completion{at: at, fn: fn})
+// pop removes and returns the earliest completion. The vacated slot is
+// zeroed so the backing array does not retain the callback.
+func (h *completionHeap) pop() completion {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].at < s[j].at {
+			j = j2
+		}
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	c := s[n]
+	s[n] = completion{}
+	*h = s[:n]
+	return c
 }
 
 // runDue fires all completions due at or before cycle, returning how
 // many fired (the controller's event accounting).
 func (h *completionHeap) runDue(cycle uint64) int {
 	n := 0
-	for h.Len() > 0 && (*h)[0].at <= cycle {
-		c := heap.Pop(h).(completion)
+	for len(*h) > 0 && (*h)[0].at <= cycle {
+		c := h.pop()
 		c.fn()
 		n++
 	}

@@ -2,9 +2,14 @@ package memsys
 
 import (
 	"fmt"
+	"runtime"
 
 	"pacram/internal/ddr"
 )
+
+// invalidEvents is the horizon-cache sentinel: no channel's event
+// counter can reach it, so a stamped entry always recomputes.
+const invalidEvents = ^uint64(0)
 
 // System is the multi-channel memory system: N independent per-channel
 // Controllers — each with its own mitigation instance, refresh policy,
@@ -30,6 +35,31 @@ type System struct {
 	mapper   *ddr.Mapper // full-geometry mapper: decodes channel bits
 	channels []*Controller
 	cycle    uint64
+
+	// Per-channel horizon cache (see NextEvent): horizons[i] is channel
+	// i's last computed NextEvent and horizonEv[i] the channel's event
+	// counter at compute time. The cached value is reused while the
+	// counter still matches and the horizon is still in the future;
+	// Issue stamps the touched channel with an impossible counter so a
+	// newly queued request forces a recompute.
+	horizons  []uint64
+	horizonEv []uint64
+
+	// elide enables no-op channel-tick elision (SetTickElision).
+	elide bool
+
+	// Window machinery (see AdvanceWindow in window.go).
+	winMode     WindowMode
+	procs       int           // GOMAXPROCS at construction
+	winHints    []uint64      // per-channel entry horizons
+	winTicks    []int         // per-channel ticks executed
+	winHorizons []uint64      // per-channel exit horizons
+	wake        []chan uint64 // per-channel worker wakeups (lazy)
+	winDone     chan struct{}
+	windowing   bool // audit callbacks buffer instead of firing
+	auditFn     func(bank, row int, preventive bool)
+	auditBufs   [][]auditEvent
+	mergeIdx    []int
 }
 
 // NewSystem builds an N-channel system from the full-system config
@@ -52,7 +82,20 @@ func NewSystem(cfg Config, mitigs []Mitigation, policies []RefreshPolicy) (*Syst
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, mapper: mapper, channels: make([]*Controller, n)}
+	s := &System{
+		cfg:         cfg,
+		mapper:      mapper,
+		channels:    make([]*Controller, n),
+		horizons:    make([]uint64, n),
+		horizonEv:   make([]uint64, n),
+		winHints:    make([]uint64, n),
+		winTicks:    make([]int, n),
+		winHorizons: make([]uint64, n),
+		procs:       runtime.GOMAXPROCS(0),
+	}
+	for i := range s.horizonEv {
+		s.horizonEv[i] = invalidEvents
+	}
 	for ch := 0; ch < n; ch++ {
 		chCfg := cfg
 		chCfg.Geometry.Channels = 1
@@ -97,7 +140,13 @@ func (s *System) Issue(addr uint64, write bool, done func()) bool {
 	ch := a.Channel
 	a.Channel = 0 // channel-local coordinates for the per-channel controller
 	line := addr &^ uint64(s.cfg.Geometry.LineBytes-1)
-	return s.channels[ch].IssueDecoded(a, line, write, done)
+	if !s.channels[ch].IssueDecoded(a, line, write, done) {
+		return false
+	}
+	// Enqueueing does not bump the channel's event counter, but it can
+	// pull its horizon closer; force the next NextEvent to recompute.
+	s.horizonEv[ch] = invalidEvents
+	return true
 }
 
 // CanAccept reports whether Issue would accept a request for addr
@@ -113,12 +162,51 @@ func (s *System) CanAccept(addr uint64, write bool) bool {
 // independent command buses, so each may issue one command per cycle.
 // The system clock moves first so completion callbacks firing inside a
 // channel's Tick observe the same Cycle() the channel itself reports.
+//
+// With tick elision enabled (SetTickElision), a channel whose cached
+// horizon is still valid and ahead of the new cycle provably no-ops
+// this tick (the same NextEvent contract leaps rely on, at
+// single-cycle granularity), so only its clock is moved — the
+// priority-chain command scan is skipped entirely. On wide systems
+// most channels are idle on any given active cycle, which makes this
+// the difference between paying N command scans per step and paying
+// one per busy channel. The cache stays valid across the elision: a
+// no-op tick changes nothing the horizon depends on.
 func (s *System) Tick() {
 	s.cycle++
-	for _, c := range s.channels {
+	if !s.elide {
+		for _, c := range s.channels {
+			c.Tick()
+		}
+		return
+	}
+	for i, c := range s.channels {
+		if s.horizonEv[i] == c.events && s.horizons[i] > s.cycle {
+			c.AdvanceTo(s.cycle)
+			continue
+		}
+		ev := c.events
 		c.Tick()
+		if c.events == ev {
+			// The tick no-opped, so the channel has gone quiet (the
+			// Events contract: an unchanged counter proves nothing but
+			// the clock moved). Cache its horizon now, while the engine
+			// is mid-burst and not asking for NextEvent, so the ticks
+			// until that horizon elide too.
+			s.horizons[i], s.horizonEv[i] = c.NextEvent(), ev
+		}
 	}
 }
+
+// SetTickElision turns on no-op channel-tick elision in Tick (see
+// there). Off by default: a bare System ticks every channel every
+// cycle, the reference semantics parity suites compare against. The
+// event-horizon engine turns it on — for it, elided scans are the
+// point — while the per-cycle engine stays a pure lockstep reference.
+// Byte identity between the two settings follows from the Events/
+// NextEvent contract and is enforced by the engine parity suites and
+// TestWindowMatchesLockstep's elision mode.
+func (s *System) SetTickElision(on bool) { s.elide = on }
 
 // AdvanceTo jumps every channel's clock to cycle. The caller must have
 // proven — via NextEvent — that every skipped Tick would have been a
@@ -136,14 +224,34 @@ func (s *System) AdvanceTo(cycle uint64) {
 // NextEvent returns the system event horizon: the minimum of the
 // per-channel horizons. Every Tick strictly before it is a no-op for
 // every channel, which is what lets the event-horizon engine leap the
-// whole system in one step.
+// whole system in one step. Per-channel horizons are cached: a
+// channel's horizon is a pure function of its state and a no-op tick
+// changes nothing but the clock, so the last computed value stays
+// exact until the channel's event counter moves, a request is issued
+// to it, or the clock catches up with the horizon itself.
 func (s *System) NextEvent() uint64 {
-	h := s.channels[0].NextEvent()
-	for _, c := range s.channels[1:] {
-		if ch := c.NextEvent(); ch < h {
+	h := s.channelHorizon(0)
+	for i := 1; i < len(s.channels); i++ {
+		if ch := s.channelHorizon(i); ch < h {
 			h = ch
 		}
 	}
+	return h
+}
+
+// channelHorizon returns channel i's NextEvent, from cache when still
+// valid. Validity needs both guards: a matching event counter proves
+// the channel state is unchanged (every state change bumps it, and
+// Issue — which does not — stamps the sentinel), and horizon > cycle
+// excludes values the clock has caught up with, whose clamped floors
+// (Cycle()+1) would re-derive higher.
+func (s *System) channelHorizon(i int) uint64 {
+	c := s.channels[i]
+	if s.horizonEv[i] == c.events && s.horizons[i] > s.cycle {
+		return s.horizons[i]
+	}
+	h := c.NextEvent()
+	s.horizons[i], s.horizonEv[i] = h, c.events
 	return h
 }
 
@@ -196,11 +304,24 @@ func (s *System) ChannelStats() []Stats {
 // callback sees system-flat bank indices (channel-major, matching
 // Geometry.FlatBank on the full geometry), so security tests can
 // observe the whole system through one listener.
+//
+// Activations inside a window advancement (see AdvanceWindow) are
+// buffered and replayed at the window boundary: the (bank, row,
+// preventive) sequence and its order are byte-identical to lockstep
+// ticking, but the callback then runs with Cycle() already at the
+// window end rather than at the activation's own cycle.
 func (s *System) SetAudit(fn func(bank, row int, preventive bool)) {
+	s.auditFn = fn
+	s.auditBufs = make([][]auditEvent, len(s.channels))
 	banksPerChannel := s.cfg.Geometry.Ranks * s.cfg.Geometry.Banks()
 	for ch, c := range s.channels {
 		base := ch * banksPerChannel
 		c.SetAudit(func(bank, row int, preventive bool) {
+			if s.windowing {
+				s.auditBufs[ch] = append(s.auditBufs[ch],
+					auditEvent{at: c.cycle, bank: base + bank, row: row, preventive: preventive})
+				return
+			}
 			fn(base+bank, row, preventive)
 		})
 	}

@@ -1,0 +1,314 @@
+package memsys
+
+import "time"
+
+// Channel-window advancement: the multi-channel fast path behind
+// System.AdvanceWindow.
+//
+// The lockstep System.Tick makes every channel pay for every other
+// channel's events: the event-horizon engine can only leap to the
+// minimum horizon over all channels, and then ticks all N channels at
+// the union of their event times. But while every core is stalled, a
+// channel's evolution is invisible to the rest of the system unless it
+// (a) fires a read-completion callback, or (b) frees a slot in a full
+// queue — those are the only two ways a stalled core can be woken
+// (cpu.Core.NextEvent stalls exactly on "head load outstanding" and
+// "window or routed queue full"). Everything else a channel does in
+// the meantime — refreshes, RFMs, preventive refreshes, write drains
+// on non-full queues, metadata traffic — is channel-private: PR 4's
+// isolation guarantee means no shared mutable state exists between
+// channels (separate mitigation instance, refresh/RFM schedule,
+// queues, banks and data bus; the only shared field is the System
+// clock, which windows move once at the end).
+//
+// So each channel reports a VisibleHorizon — a cycle strictly before
+// which it provably cannot wake any core — and the System advances
+// every channel independently (optionally on its own goroutine) to
+// one cycle before the minimum, each channel ticking only at its own
+// event horizons. Because the lockstep engine also only ever ticks at
+// a superset of each channel's event points (it never leaps past any
+// channel's horizon), the private per-channel evolution is exactly the
+// lockstep evolution restricted to that channel, and the merged result
+// is byte-identical. Audit callbacks raised inside a window are
+// buffered per channel and replayed in (cycle, channel) order — the
+// exact order lockstep ticking produces. TestWindowMatchesLockstep
+// enforces all of this, in every window mode; the engine-level parity
+// suite (sim/parity_test.go multi-channel cases) enforces it through
+// the full stack against the per-cycle engine.
+
+// VisibleHorizon returns a cycle strictly before which this channel
+// cannot change any core-visible state, assuming no new requests are
+// issued to it in the meantime (the caller guarantees that: windows
+// only run while every core is stalled). Core-visible state changes
+// are read-completion callbacks and queue-occupancy drops on a full
+// queue; the bound is the minimum of
+//
+//   - the earliest already-scheduled completion,
+//   - nextEvent — the channel's own event horizon, which the caller
+//     supplies (usually cached) — when either queue is full: the first
+//     slot that frees could wake a core blocked on CanAccept, and a
+//     full queue's first drain is an event, so nextEvent is a sound
+//     and cheap lower bound for it,
+//   - cycle+1+tCL+tBL+ExtraLatency when a demand read (Done != nil) is
+//     queued: a completion scheduled by a future RD at cycle t fires
+//     at t+tCL+tBL+ExtraLatency, and the earliest future RD is next
+//     cycle.
+//
+// The result is always at least Cycle()+1. It may be conservative —
+// stopping a window early costs only an extra no-op engine step —
+// but never late.
+func (c *Controller) VisibleHorizon(nextEvent uint64) uint64 {
+	h := ^uint64(0)
+	if len(c.completions) > 0 {
+		h = c.completions[0].at
+	}
+	if len(c.readQ) >= c.cfg.ReadQueue || len(c.writeQ) >= c.cfg.WriteQueue {
+		if nextEvent < h {
+			h = nextEvent
+		}
+	}
+	if c.demandDone > 0 {
+		if lb := c.cycle + 1 + c.cCL + c.cBL + c.cfg.ExtraLatency; lb < h {
+			h = lb
+		}
+	}
+	if h <= c.cycle {
+		h = c.cycle + 1
+	}
+	return h
+}
+
+// AdvanceWindow advances the channel to target (inclusive), ticking
+// only at the channel's own event horizons: a private leap loop with
+// exactly the AdvanceTo(H-1)+Tick structure the engine uses, so the
+// resulting state is byte-identical to being lockstep-ticked through
+// every cycle in (Cycle(), target]. horizon must be a valid NextEvent
+// value for the current state (the caller passes its cached one to
+// save a recompute). It returns the ticks executed and the channel's
+// exit horizon — a NextEvent value > target, valid for the caller's
+// horizon cache.
+//
+// The caller must have proven — via VisibleHorizon on every channel —
+// that nothing outside the channel observes it before target+1; no
+// request may be issued to the channel until the window completes.
+func (c *Controller) AdvanceWindow(target, horizon uint64) (ticks int, exitHorizon uint64) {
+	h := horizon
+	for h <= target {
+		if h-1 > c.cycle {
+			c.AdvanceTo(h - 1)
+		}
+		c.Tick()
+		ticks++
+		h = c.NextEvent()
+	}
+	c.AdvanceTo(target)
+	return ticks, h
+}
+
+// WindowMode selects how System.AdvanceWindow distributes channels.
+type WindowMode int
+
+const (
+	// WindowAuto fans out to per-channel goroutines when GOMAXPROCS
+	// permits real parallelism and the window is wide enough to
+	// amortize the handoff; otherwise it advances channels in-line.
+	// Both paths produce byte-identical state, so the choice is pure
+	// scheduling.
+	WindowAuto WindowMode = iota
+	// WindowSequential never fans out.
+	WindowSequential
+	// WindowParallel always fans out, regardless of GOMAXPROCS or
+	// window width (determinism and race tests).
+	WindowParallel
+)
+
+// parallelWindowMin is the minimum window width, in cycles, for which
+// WindowAuto pays the per-channel goroutine handoff.
+const parallelWindowMin = 512
+
+// SetWindowMode overrides the parallelism policy (see WindowMode).
+func (s *System) SetWindowMode(m WindowMode) { s.winMode = m }
+
+// WindowStats reports one AdvanceWindow call's work, for the engine's
+// profile counters.
+type WindowStats struct {
+	ChannelTicks     int  // channel Ticks executed inside the window
+	ChannelsAdvanced int  // channels that executed at least one tick
+	Parallel         bool // fanned out to per-channel goroutines
+	// MergeNanos is the wall time spent replaying buffered audit
+	// callbacks (zero unless an audit listener is installed and fired).
+	MergeNanos int64
+}
+
+// WindowHorizon returns the earliest cycle at which any channel could
+// change core-visible state: the minimum over channels of
+// max(NextEvent, VisibleHorizon). Both are sound lower bounds on a
+// channel's next core-visible action — nothing at all happens on a
+// channel before its NextEvent, and VisibleHorizon bounds core-visible
+// effects even across the channel's own in-window events — so the
+// larger of the two wins per channel. Always at least Cycle()+1, and
+// never smaller than NextEvent(), so a window is never worse than a
+// plain system leap.
+func (s *System) WindowHorizon() uint64 {
+	b := s.channelBound(0)
+	for i := 1; i < len(s.channels); i++ {
+		if v := s.channelBound(i); v < b {
+			b = v
+		}
+	}
+	return b
+}
+
+func (s *System) channelBound(i int) uint64 {
+	ne := s.channelHorizon(i)
+	if vh := s.channels[i].VisibleHorizon(ne); vh > ne {
+		return vh
+	}
+	return ne
+}
+
+// AdvanceWindow advances every channel independently to target
+// (inclusive) and moves the system clock there. The caller must have
+// proven target < WindowHorizon() and that every core stays stalled
+// throughout (the engine calls it only when both hold). Audit
+// callbacks raised inside the window are buffered per channel and
+// replayed afterwards in (cycle, channel) order — the sequence is
+// identical to lockstep ticking; only the replay happens with the
+// clock already at the window end.
+func (s *System) AdvanceWindow(target uint64) WindowStats {
+	var ws WindowStats
+	if target <= s.cycle {
+		return ws
+	}
+	n := len(s.channels)
+	for i := 0; i < n; i++ {
+		s.winHints[i] = s.channelHorizon(i)
+	}
+	s.windowing = s.auditFn != nil
+
+	par := false
+	switch s.winMode {
+	case WindowParallel:
+		par = true
+	case WindowAuto:
+		par = n > 1 && s.procs > 1 && target-s.cycle >= parallelWindowMin
+	}
+	if par {
+		s.startWorkers()
+		for i := 0; i < n; i++ {
+			s.wake[i] <- target
+		}
+		for i := 0; i < n; i++ {
+			<-s.winDone
+		}
+		ws.Parallel = true
+	} else {
+		for i, c := range s.channels {
+			s.winTicks[i], s.winHorizons[i] = c.AdvanceWindow(target, s.winHints[i])
+		}
+	}
+	for i, c := range s.channels {
+		// Each exit horizon is a fresh NextEvent value > target; seed
+		// the horizon cache with it so the engine step that follows the
+		// window does not recompute untouched channels.
+		s.horizons[i], s.horizonEv[i] = s.winHorizons[i], c.events
+		if s.winTicks[i] > 0 {
+			ws.ChannelsAdvanced++
+		}
+		ws.ChannelTicks += s.winTicks[i]
+	}
+	s.cycle = target
+	if s.windowing {
+		s.windowing = false
+		ws.MergeNanos = s.flushAudits()
+	}
+	return ws
+}
+
+// startWorkers lazily starts one goroutine per channel, parked on a
+// wake channel carrying the window target. They live until Close.
+func (s *System) startWorkers() {
+	if s.wake != nil {
+		return
+	}
+	s.wake = make([]chan uint64, len(s.channels))
+	s.winDone = make(chan struct{}, len(s.channels))
+	for i := range s.channels {
+		s.wake[i] = make(chan uint64, 1)
+		go s.channelWorker(i)
+	}
+}
+
+func (s *System) channelWorker(i int) {
+	c := s.channels[i]
+	for target := range s.wake[i] {
+		// Writes land in this worker's private slots; the coordinator
+		// reads them only after the winDone receive, which orders them.
+		s.winTicks[i], s.winHorizons[i] = c.AdvanceWindow(target, s.winHints[i])
+		s.winDone <- struct{}{}
+	}
+}
+
+// Close stops the per-channel window workers, if any were started.
+// It is idempotent, and the System stays usable afterwards — a later
+// parallel window would simply restart the workers.
+func (s *System) Close() {
+	if s.wake == nil {
+		return
+	}
+	for _, ch := range s.wake {
+		close(ch)
+	}
+	s.wake = nil
+}
+
+// auditEvent is one buffered audit callback (see System.SetAudit).
+type auditEvent struct {
+	at         uint64
+	bank, row  int
+	preventive bool
+}
+
+// flushAudits replays the buffered audit callbacks in (cycle, channel)
+// order — a k-way merge over the per-channel buffers, each already
+// cycle-sorted — and returns the wall time spent, or 0 when nothing
+// was buffered.
+func (s *System) flushAudits() int64 {
+	any := false
+	for i := range s.auditBufs {
+		if len(s.auditBufs[i]) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0
+	}
+	start := time.Now()
+	if s.mergeIdx == nil {
+		s.mergeIdx = make([]int, len(s.channels))
+	} else {
+		clear(s.mergeIdx)
+	}
+	for {
+		best := -1
+		var bestAt uint64
+		for ch := range s.auditBufs {
+			if s.mergeIdx[ch] < len(s.auditBufs[ch]) {
+				if at := s.auditBufs[ch][s.mergeIdx[ch]].at; best == -1 || at < bestAt {
+					best, bestAt = ch, at
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := &s.auditBufs[best][s.mergeIdx[best]]
+		s.auditFn(e.bank, e.row, e.preventive)
+		s.mergeIdx[best]++
+	}
+	for i := range s.auditBufs {
+		s.auditBufs[i] = s.auditBufs[i][:0]
+	}
+	return int64(time.Since(start))
+}

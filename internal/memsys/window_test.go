@@ -1,0 +1,297 @@
+package memsys_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pacram/internal/ddr"
+	"pacram/internal/memsys"
+	"pacram/internal/mitigation"
+	"pacram/internal/xrand"
+)
+
+func windowConfig(channels int) memsys.Config {
+	cfg := memsys.DefaultConfig()
+	g := ddr.PaperSystem()
+	g.Channels = channels
+	g.Rows = 1024
+	cfg.Geometry = g
+	return cfg
+}
+
+func windowSystem(t testing.TB, cfg memsys.Config, mitigName string, nrh int) *memsys.System {
+	t.Helper()
+	var mitigs []memsys.Mitigation
+	if mitigName != "" {
+		g := cfg.Geometry
+		mitigs = make([]memsys.Mitigation, g.Channels)
+		for ch := range mitigs {
+			m, err := mitigation.New(mitigName, mitigation.Config{
+				NRH:         nrh,
+				Rows:        g.Rows,
+				Banks:       g.Ranks * g.Banks(), // one channel's banks
+				BlastRadius: cfg.BlastRadius,
+				WindowActs:  int(cfg.Timing.TREFW / cfg.Timing.TRC()),
+				Seed:        uint64(1 + ch),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mitigs[ch] = m
+		}
+	}
+	s, err := memsys.NewSystem(cfg, mitigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// windowTraffic returns a deterministic issue schedule: reads with
+// completion callbacks hammering rows across all channels, scattered
+// write bursts (drain hysteresis), occasional queue-stuffing phases
+// (full-queue conservatism) and idle gaps (wide windows). Issues are a
+// pure function of the cycle so the lockstep and window drivers replay
+// the exact same external traffic.
+func windowTraffic(t testing.TB, s *memsys.System, record *[]uint64) func(cycle uint64) {
+	t.Helper()
+	mapper := s.Mapper()
+	g := s.Geometry()
+	addr := func(a ddr.Address) uint64 { return mapper.Encode(a) }
+	rng := xrand.New(0xBADC0FFE)
+	n := 0
+	return func(cycle uint64) {
+		switch phase := (cycle / 700) % 5; phase {
+		case 4:
+			return // idle gap
+		case 3:
+			// Stuff one channel's read queue to (try to) fill it.
+			for i := 0; i < 4; i++ {
+				a := ddr.Address{Channel: 0, Bank: i % 4, Row: int(rng.Uint64() % 512), Column: n % g.Columns}
+				s.Issue(addr(a), false, func() { *record = append(*record, s.Cycle()) })
+				n++
+			}
+		case 2:
+			if cycle%2 == 0 { // write burst, rotating channels
+				a := ddr.Address{Channel: int(cycle/2) % g.Channels, Bank: int(rng.Uint64() % 4), Row: int(rng.Uint64() % 64)}
+				s.Issue(addr(a), true, nil)
+			}
+		default:
+			if cycle%3 != 0 {
+				return
+			}
+			n++
+			a := ddr.Address{Channel: n % g.Channels, Row: 100 + n%2} // two-sided hammer per channel
+			if n%7 == 0 {
+				a = ddr.Address{Channel: (n / 7) % g.Channels, BankGroup: n % 8, Bank: n % 4, Row: n % 512}
+			}
+			a.Column = n % g.Columns
+			s.Issue(addr(a), false, func() { *record = append(*record, s.Cycle()) })
+		}
+	}
+}
+
+type auditRec struct {
+	bank, row  int
+	preventive bool
+}
+
+// driveLockstep is the reference: issue then Tick, every cycle.
+func driveLockstep(s *memsys.System, issue func(uint64), cycles uint64) {
+	for s.Cycle() < cycles {
+		issue(s.Cycle())
+		s.Tick()
+	}
+}
+
+// driveWindows mirrors the engine's multi-channel step: between issue
+// cycles it advances each channel independently to one cycle short of
+// the window horizon, then ticks normally. nextIssueGap says how far
+// the schedule is quiet; windows never cross an issue cycle, matching
+// the engine's guarantee that no request arrives mid-window.
+func driveWindows(s *memsys.System, issue func(uint64), cycles uint64, quietUntil func(uint64) uint64) {
+	for s.Cycle() < cycles {
+		cyc := s.Cycle()
+		issue(cyc)
+		if q := quietUntil(cyc); q > cyc+1 {
+			if h := s.WindowHorizon(); h > cyc+1 {
+				if target := min(h, q, cycles) - 1; target > cyc {
+					s.AdvanceWindow(target)
+				}
+			}
+		}
+		s.Tick()
+	}
+}
+
+// TestWindowMatchesLockstep is the window-advancement byte-identity
+// contract: a multi-channel System driven with windows — sequential,
+// forced-parallel, and auto — produces exactly the lockstep state:
+// same Stats, per-channel stats, event counters, completion timing and
+// audit sequence.
+func TestWindowMatchesLockstep(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		channels int
+		mitig    string
+		nrh      int
+	}{
+		{"2ch-para", 2, "PARA", 16},
+		{"4ch-graphene", 4, "Graphene", 8},
+		{"8ch-hydra-meta", 8, "Hydra", 32},
+		{"2ch-none", 2, "", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// quietUntil bounds how far windowTraffic's schedule is
+			// provably issue-free from cyc (exclusive), never crossing a
+			// phase boundary: the full idle phase, the next even cycle in
+			// write bursts, the next multiple of three in hammer phases.
+			quietUntil := func(cyc uint64) uint64 {
+				phaseEnd := (cyc/700 + 1) * 700
+				switch (cyc / 700) % 5 {
+				case 4:
+					return phaseEnd
+				case 3:
+					return cyc + 1
+				case 2:
+					return min(cyc+2-cyc%2, phaseEnd)
+				default:
+					return min(cyc+3-cyc%3, phaseEnd)
+				}
+			}
+
+			type snapshot struct {
+				stats       memsys.Stats
+				perChannel  []memsys.Stats
+				events      uint64
+				cycle       uint64
+				completions []uint64
+				audits      []auditRec
+			}
+			const cycles = 40_000
+			run := func(mode memsys.WindowMode, lockstep, elide bool) snapshot {
+				cfg := windowConfig(tc.channels)
+				s := windowSystem(t, cfg, tc.mitig, tc.nrh)
+				s.SetWindowMode(mode)
+				s.SetTickElision(elide)
+				var comps []uint64
+				var audits []auditRec
+				s.SetAudit(func(bank, row int, preventive bool) {
+					audits = append(audits, auditRec{bank, row, preventive})
+				})
+				issue := windowTraffic(t, s, &comps)
+				if lockstep {
+					driveLockstep(s, issue, cycles)
+				} else {
+					driveWindows(s, issue, cycles, quietUntil)
+				}
+				return snapshot{s.Stats(), s.ChannelStats(), s.Events(), s.Cycle(), comps, audits}
+			}
+
+			want := run(memsys.WindowAuto, true, false)
+			if want.stats.Reads == 0 || want.stats.Acts == 0 {
+				t.Fatal("traffic generator produced no memory activity")
+			}
+			if len(want.audits) == 0 {
+				t.Fatal("no audited activations — the audit merge path is untested")
+			}
+			// lockstep-elide isolates tick elision from windows: the same
+			// lockstep drive with no-op channel ticks elided must match
+			// the plain reference exactly. The window modes then run with
+			// elision on, the combination the engine actually uses.
+			if got := run(memsys.WindowAuto, true, true); !reflect.DeepEqual(want, got) {
+				t.Errorf("tick elision diverged from plain lockstep:\nplain: %+v\nelide: %+v",
+					want.stats, got.stats)
+			}
+			for _, mode := range []struct {
+				name string
+				m    memsys.WindowMode
+			}{
+				{"sequential", memsys.WindowSequential},
+				{"parallel", memsys.WindowParallel},
+				{"auto", memsys.WindowAuto},
+			} {
+				got := run(mode.m, false, true)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s windows diverged from lockstep:\nlockstep: %+v\nwindows:  %+v",
+						mode.name, want.stats, got.stats)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowHorizonSoundness hammers the core-visibility contract
+// under lockstep ticking: no completion may fire, and no full queue
+// may drain, strictly before the promised WindowHorizon. These are the
+// only two events that can wake a stalled core, so this is exactly the
+// property the engine's window leap relies on.
+func TestWindowHorizonSoundness(t *testing.T) {
+	cfg := windowConfig(4)
+	s := windowSystem(t, cfg, "Graphene", 8)
+	var comps []uint64
+	issue := windowTraffic(t, s, &comps)
+
+	n := s.NumChannels()
+	fullR := make([]bool, n)
+	fullW := make([]bool, n)
+	for s.Cycle() < 50_000 {
+		issue(s.Cycle())
+		wh := s.WindowHorizon()
+		if ne := s.NextEvent(); wh < ne {
+			t.Fatalf("WindowHorizon %d < NextEvent %d at cycle %d — windows would underperform plain leaps", wh, ne, s.Cycle())
+		}
+		if wh <= s.Cycle() {
+			t.Fatalf("WindowHorizon %d not in the future at cycle %d", wh, s.Cycle())
+		}
+		for i := 0; i < n; i++ {
+			fullR[i] = !s.Channel(i).CanAccept(false)
+			fullW[i] = !s.Channel(i).CanAccept(true)
+		}
+		before := len(comps)
+		s.Tick()
+		if s.Cycle() >= wh {
+			continue
+		}
+		if len(comps) != before {
+			t.Fatalf("completion fired at cycle %d but WindowHorizon promised quiet until %d", s.Cycle(), wh)
+		}
+		for i := 0; i < n; i++ {
+			if fullR[i] && s.Channel(i).CanAccept(false) {
+				t.Fatalf("channel %d full read queue drained at cycle %d before WindowHorizon %d", i, s.Cycle(), wh)
+			}
+			if fullW[i] && s.Channel(i).CanAccept(true) {
+				t.Fatalf("channel %d full write queue drained at cycle %d before WindowHorizon %d", i, s.Cycle(), wh)
+			}
+		}
+	}
+	if len(comps) == 0 {
+		t.Fatal("no completions observed — the soundness check exercised nothing")
+	}
+}
+
+// TestHorizonCacheExact verifies the per-channel horizon cache against
+// fresh recomputation on every tick of a busy multi-channel run: a
+// cached System and an uncached Controller-level recompute must agree
+// at every step.
+func TestHorizonCacheExact(t *testing.T) {
+	cfg := windowConfig(2)
+	s := windowSystem(t, cfg, "PARA", 16)
+	var comps []uint64
+	issue := windowTraffic(t, s, &comps)
+	for s.Cycle() < 30_000 {
+		issue(s.Cycle())
+		cached := s.NextEvent() // may serve from cache
+		fresh := s.Channel(0).NextEvent()
+		for i := 1; i < s.NumChannels(); i++ {
+			if h := s.Channel(i).NextEvent(); h < fresh {
+				fresh = h
+			}
+		}
+		if cached != fresh {
+			t.Fatalf("cycle %d: cached system horizon %d != fresh recompute %d", s.Cycle(), cached, fresh)
+		}
+		s.Tick()
+	}
+}

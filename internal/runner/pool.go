@@ -277,7 +277,11 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 				p.metrics.inflight.Inc()
 				computeStart := time.Now()
 				ct.phase("pool-wait", waitStart, computeStart)
-				res, err := j.Run(Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)})
+				ctx := Ctx{Key: j.Key, Seed: JobSeed(opt.Seed, j.Key)}
+				if ct != nil {
+					ctx.Phase = ct.phase
+				}
+				res, err := j.Run(ctx)
 				computeEnd := time.Now()
 				p.metrics.inflight.Dec()
 				<-p.slots

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"time"
 
 	"pacram/internal/telemetry"
 	"pacram/internal/xrand"
@@ -17,6 +18,12 @@ type Ctx struct {
 	// Seed is derived deterministically from the engine's base seed
 	// and Key; it does not depend on worker count or scheduling.
 	Seed uint64
+	// Phase, when non-nil, records a named sub-phase of this job's own
+	// work into the invocation's cell trace (Options.Trace), as a
+	// sibling of the pool's store-get/pool-wait/compute spans under the
+	// same cell root. Nil when tracing is off; jobs must tolerate that.
+	// Call it only from the job's goroutine, before Run returns.
+	Phase func(name string, start, end time.Time)
 }
 
 // Job is one cell of a sweep matrix. Key must be unique within the

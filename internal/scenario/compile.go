@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
@@ -307,14 +308,35 @@ func (p *Plan) addJob(rc *resolvedCell, mem resolvedMember) (string, error) {
 	if !p.matrix.Has(key) {
 		p.cells = append(p.cells, Cell{Key: key, rc: &cellCopy, cores: cores})
 	}
-	p.matrix.Add(key, func(runner.Ctx) (sim.Result, error) {
+	p.matrix.Add(key, func(ctx runner.Ctx) (sim.Result, error) {
 		opt, err := cellCopy.simOptions(cores)
 		if err != nil {
 			return sim.Result{}, err
 		}
+		// With a cell trace attached, run profiled and surface the
+		// simulator's own wall-time split (core loop, controller ticks,
+		// channel windows, audit merge) as sub-phase spans beside the
+		// pool's compute span. The spans are synthetic — anchored
+		// backwards from the run's end, since the slices interleave —
+		// and the Profile is stripped before returning, so cached
+		// result bytes are identical with and without tracing.
+		opt.Profile = ctx.Phase != nil
 		res, err := sim.Run(opt)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("scenario %s: cell %s: %w", p.Spec.Name, key, err)
+		}
+		if prof := res.Profile; prof != nil {
+			end := time.Now()
+			span := func(name string, nanos int64) {
+				if nanos > 0 {
+					ctx.Phase(name, end.Add(-time.Duration(nanos)), end)
+				}
+			}
+			span("sim-cores", prof.CoreNanos)
+			span("sim-ctrl", prof.CtrlNanos)
+			span("sim-windows", prof.WindowNanos)
+			span("sim-window-merge", prof.MergeNanos)
+			res.Profile = nil
 		}
 		return res, nil
 	})

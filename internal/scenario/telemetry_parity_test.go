@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 
 	"pacram/internal/runner"
@@ -46,12 +47,12 @@ func TestCatalogTelemetryPassivity(t *testing.T) {
 			pool.Instrument(reg)
 			var traceBuf bytes.Buffer
 			tw := telemetry.NewTraceWriter(&traceBuf)
-			var events int
+			var events atomic.Int64 // OnEvent may fire concurrently
 			observed, err := Run(s, RunOptions{
 				Pool:      pool,
 				Trace:     tw,
 				TraceID:   s.Name,
-				OnEvent:   func(runner.Event) { events++ },
+				OnEvent:   func(runner.Event) { events.Add(1) },
 				OnWarning: func(runner.Warning) {},
 			})
 			if err != nil {
@@ -81,8 +82,8 @@ func TestCatalogTelemetryPassivity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if events != p.Jobs() {
-				t.Errorf("%d events for %d cells", events, p.Jobs())
+			if events.Load() != int64(p.Jobs()) {
+				t.Errorf("%d events for %d cells", events.Load(), p.Jobs())
 			}
 			spans, err := telemetry.ReadSpans(&traceBuf)
 			if err != nil {
@@ -96,6 +97,18 @@ func TestCatalogTelemetryPassivity(t *testing.T) {
 			}
 			if roots != p.Jobs() {
 				t.Errorf("%d root spans for %d cells", roots, p.Jobs())
+			}
+			// No store is configured, so every cell was computed and must
+			// carry the simulator's own phase attribution (the cell fn
+			// runs profiled when a trace is attached).
+			simPhases := 0
+			for _, sp := range spans {
+				if sp.Name == "sim-cores" || sp.Name == "sim-ctrl" {
+					simPhases++
+				}
+			}
+			if simPhases == 0 {
+				t.Error("no sim-* sub-phase spans: computed cells should attribute simulator time")
 			}
 			var counted int64
 			for _, fam := range reg.Snapshot() {

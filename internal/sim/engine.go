@@ -43,6 +43,10 @@ type engine struct {
 	cores    []*cpu.Core
 	ctrl     *memsys.System
 	perCycle bool
+	// multi selects the channel-window leap path (see step). With one
+	// channel a window degenerates to the plain leap, so single-channel
+	// runs keep the exact original code path.
+	multi    bool
 	runnable []bool // per-core runnability, refreshed each step
 	// prof, when non-nil, accumulates work attribution
 	// (Options.Profile). Profiling is observationally passive: the
@@ -72,7 +76,9 @@ func (e *engine) step(maxCycles uint64) {
 			anyRunnable = anyRunnable || e.runnable[i]
 		}
 		if !anyRunnable {
-			if h := e.ctrl.NextEvent(); h > e.ctrl.Cycle()+1 {
+			if e.multi {
+				e.windowLeap(maxCycles)
+			} else if h := e.ctrl.NextEvent(); h > e.ctrl.Cycle()+1 {
 				limit := maxCycles
 				if limit != math.MaxUint64 {
 					limit++ // allow landing on maxCycles+1: the overrun cycle
@@ -133,6 +139,57 @@ func (e *engine) step(maxCycles uint64) {
 	e.ctrl.Tick()
 	if e.prof != nil {
 		e.prof.ctrlNanos += int64(time.Since(phaseStart))
+	}
+}
+
+// windowLeap is the multi-channel leap: instead of jumping everything
+// to the system horizon (the minimum over channels — which makes every
+// channel pay for every other channel's events), it advances each
+// channel independently to one cycle before the earliest core-visible
+// event, ticking each channel only at its own horizons, in parallel
+// when wide enough (memsys.System.AdvanceWindow). Cores stay provably
+// stalled throughout — the window bound is exactly "the first cycle a
+// core could be woken" — so, like the plain leap, they only need their
+// clocks moved. The maxCycles clamp mirrors the plain leap so the
+// overrun check fires on the identical cycle.
+//
+// A window is also a leap for profile accounting: it skips the same
+// engine steps, so Steps + LeapCycles == SimCycles still holds.
+func (e *engine) windowLeap(maxCycles uint64) {
+	h := e.ctrl.WindowHorizon()
+	if h <= e.ctrl.Cycle()+1 {
+		return
+	}
+	limit := maxCycles
+	if limit != math.MaxUint64 {
+		limit++ // allow landing on maxCycles+1: the overrun cycle
+	}
+	target := min(h, limit) - 1
+	if target <= e.ctrl.Cycle() {
+		return
+	}
+	var t0 time.Time
+	if e.prof != nil {
+		e.prof.leaps++
+		skipped := target - e.ctrl.Cycle()
+		e.prof.leapCycles += skipped
+		e.prof.leapHist.Observe(float64(skipped))
+		e.prof.windows++
+		e.prof.windowCycles += skipped
+		t0 = time.Now()
+	}
+	for _, c := range e.cores {
+		c.AdvanceTo(target)
+	}
+	ws := e.ctrl.AdvanceWindow(target)
+	if e.prof != nil {
+		e.prof.windowNanos += int64(time.Since(t0))
+		e.prof.windowChannelTicks += uint64(ws.ChannelTicks)
+		e.prof.windowChannelsAdvanced += uint64(ws.ChannelsAdvanced)
+		e.prof.mergeNanos += ws.MergeNanos
+		if ws.Parallel {
+			e.prof.parallelWindows++
+		}
 	}
 }
 

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
 	"pacram/internal/chips"
 	pacram "pacram/internal/core"
 	"pacram/internal/ddr"
+	"pacram/internal/memsys"
 	"pacram/internal/trace"
 )
 
@@ -232,14 +234,24 @@ func TestEngineParityMultiChannel(t *testing.T) {
 		}
 	}
 
-	runBoth(t, "2ch-baseline-lbm", channelOpts(2, "470.lbm"))
-	runBoth(t, "4ch-mix", func() Options {
+	mixNames := func() []string {
 		mix := trace.Mixes()[0]
 		names := make([]string, len(mix.Specs))
 		for i := range mix.Specs {
 			names[i] = mix.Specs[i].Name
 		}
-		return channelOpts(4, names...)()
+		return names
+	}
+
+	runBoth(t, "2ch-baseline-lbm", channelOpts(2, "470.lbm"))
+	runBoth(t, "4ch-mix", func() Options {
+		return channelOpts(4, mixNames()...)()
+	})
+	runBoth(t, "8ch-mix", func() Options {
+		opt := channelOpts(8, mixNames()...)()
+		opt.Mitigation = "Graphene"
+		opt.NRH = 64
+		return opt
 	})
 
 	for _, mech := range []string{"PARA", "Graphene", "Hydra"} {
@@ -301,6 +313,83 @@ func TestEngineParityMultiChannel(t *testing.T) {
 		opt.Generators = []trace.Generator{hammer, vg}
 		return opt
 	})
+}
+
+// TestEngineParityParallelWindows pins the parallel channel-window
+// fan-out through the full engine stack: an 8-channel memory-bound run
+// with windows forced onto per-channel goroutines must be byte-
+// identical at GOMAXPROCS=1 and GOMAXPROCS=4, in every window mode,
+// and equal to the sequential answer. CI runs this package under
+// -race, so the fan-out is also proven data-race-free. The profiled
+// leg checks the window counters: every window fans out under forced
+// parallel mode, window cycles are attributed, and the Steps +
+// LeapCycles == SimCycles invariant survives windowing.
+func TestEngineParityParallelWindows(t *testing.T) {
+	build := func() Options {
+		opt := parityOpts(t, "429.mcf", "470.lbm", "ycsb-a", "429.mcf")()
+		opt.MemCfg.Geometry.Channels = 8
+		opt.Mitigation = "Graphene"
+		opt.NRH = 64
+		return opt
+	}
+
+	defer func(m memsys.WindowMode) { windowMode = m }(windowMode)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	run := func(mode memsys.WindowMode, procs int, profile bool) Result {
+		windowMode = mode
+		runtime.GOMAXPROCS(procs)
+		opt := build()
+		opt.Engine = EngineEventHorizon
+		opt.Profile = profile
+		res, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run(memsys.WindowSequential, 1, false)
+	for _, tc := range []struct {
+		name  string
+		mode  memsys.WindowMode
+		procs int
+	}{
+		{"parallel-1proc", memsys.WindowParallel, 1},
+		{"parallel-4proc", memsys.WindowParallel, 4},
+		{"auto-1proc", memsys.WindowAuto, 1},
+		{"auto-4proc", memsys.WindowAuto, 4},
+	} {
+		if got := run(tc.mode, tc.procs, false); !reflect.DeepEqual(want, got) {
+			t.Errorf("%s diverged from sequential windows at GOMAXPROCS=1:\nwant %+v\ngot  %+v", tc.name, want, got)
+		}
+	}
+
+	res := run(memsys.WindowParallel, 4, true)
+	p := res.Profile
+	if p == nil {
+		t.Fatal("profiling enabled but Result.Profile is nil")
+	}
+	if p.Windows == 0 {
+		t.Fatal("8-channel memory-bound run executed no channel windows")
+	}
+	if p.Windows > p.Leaps {
+		t.Errorf("Windows %d > Leaps %d: windows must be a subset of leaps", p.Windows, p.Leaps)
+	}
+	if p.ParallelWindows != p.Windows {
+		t.Errorf("forced parallel mode: only %d of %d windows fanned out", p.ParallelWindows, p.Windows)
+	}
+	if p.WindowCycles == 0 || p.WindowChannelTicks == 0 || p.WindowChannelsAdvanced == 0 {
+		t.Errorf("window work unattributed: cycles=%d channelTicks=%d channelsAdvanced=%d",
+			p.WindowCycles, p.WindowChannelTicks, p.WindowChannelsAdvanced)
+	}
+	if p.Steps+p.LeapCycles != p.SimCycles {
+		t.Errorf("Steps %d + LeapCycles %d != SimCycles %d", p.Steps, p.LeapCycles, p.SimCycles)
+	}
+	res.Profile = nil
+	if !reflect.DeepEqual(want, res) {
+		t.Errorf("profiled parallel run diverged from unprofiled sequential run")
+	}
 }
 
 // TestEngineParityStallError verifies the engines also agree on the

@@ -34,6 +34,20 @@ type Profile struct {
 	Leaps      uint64                      `json:"leaps"`
 	LeapCycles uint64                      `json:"leapCycles"`
 	LeapHist   telemetry.HistogramSnapshot `json:"leapHist"`
+	// Multi-channel runs leap via channel windows (each channel ticks
+	// only at its own event horizons, optionally on its own goroutine;
+	// see memsys.System.AdvanceWindow). Every window is also counted as
+	// a leap above — it skips the same engine steps — so Windows ≤
+	// Leaps and Steps + LeapCycles == SimCycles still holds.
+	// WindowChannelTicks counts channel ticks executed inside windows;
+	// WindowChannelsAdvanced sums, over windows, the channels that
+	// ticked at least once; ParallelWindows counts windows fanned out
+	// to per-channel goroutines. All zero on single-channel runs.
+	Windows                uint64 `json:"windows,omitempty"`
+	WindowCycles           uint64 `json:"windowCycles,omitempty"`
+	WindowChannelTicks     uint64 `json:"windowChannelTicks,omitempty"`
+	WindowChannelsAdvanced uint64 `json:"windowChannelsAdvanced,omitempty"`
+	ParallelWindows        uint64 `json:"parallelWindows,omitempty"`
 	// Refreshes/RFMs/PreventiveRefreshes count the refresh-layer and
 	// mitigation-layer commands issued over the whole run (warmup
 	// included), attributing simulated memory work per layer.
@@ -43,10 +57,14 @@ type Profile struct {
 	// WallNanos is the wall time spent simulating (setup excluded);
 	// CoreNanos and CtrlNanos split it between the core tick loop and
 	// controller ticks (leap bookkeeping and loop overhead make up the
-	// rest). CyclesPerSecond is SimCycles over WallNanos.
+	// rest). WindowNanos is the slice spent inside channel windows and
+	// MergeNanos, within that, replaying buffered audit callbacks.
+	// CyclesPerSecond is SimCycles over WallNanos.
 	WallNanos       int64   `json:"wallNanos"`
 	CoreNanos       int64   `json:"coreNanos"`
 	CtrlNanos       int64   `json:"ctrlNanos"`
+	WindowNanos     int64   `json:"windowNanos,omitempty"`
+	MergeNanos      int64   `json:"mergeNanos,omitempty"`
 	CyclesPerSecond float64 `json:"cyclesPerSecond"`
 }
 
@@ -72,9 +90,17 @@ type profCollector struct {
 	leapCycles     uint64
 	leapHist       *telemetry.Histogram
 
-	coreNanos int64
-	ctrlNanos int64
-	start     time.Time
+	windows                uint64
+	windowCycles           uint64
+	windowChannelTicks     uint64
+	windowChannelsAdvanced uint64
+	parallelWindows        uint64
+
+	coreNanos   int64
+	ctrlNanos   int64
+	windowNanos int64
+	mergeNanos  int64
+	start       time.Time
 }
 
 func newProfCollector() *profCollector {
@@ -99,9 +125,18 @@ func (p *profCollector) report(engine string, simCycles, refs, rfms, vrrs uint64
 		Refreshes:           refs,
 		RFMs:                rfms,
 		PreventiveRefreshes: vrrs,
-		WallNanos:           int64(wall),
-		CoreNanos:           p.coreNanos,
-		CtrlNanos:           p.ctrlNanos,
+
+		Windows:                p.windows,
+		WindowCycles:           p.windowCycles,
+		WindowChannelTicks:     p.windowChannelTicks,
+		WindowChannelsAdvanced: p.windowChannelsAdvanced,
+		ParallelWindows:        p.parallelWindows,
+
+		WallNanos:   int64(wall),
+		CoreNanos:   p.coreNanos,
+		CtrlNanos:   p.ctrlNanos,
+		WindowNanos: p.windowNanos,
+		MergeNanos:  p.mergeNanos,
 	}
 	if wall > 0 {
 		prof.CyclesPerSecond = float64(simCycles) / wall.Seconds()

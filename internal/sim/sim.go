@@ -138,6 +138,13 @@ func (r Result) SumIPC() float64 {
 	return s
 }
 
+// windowMode is the channel-window parallelism policy applied to every
+// run's System. The zero value is memsys.WindowAuto; it is a package
+// variable only so the parity suite can force memsys.WindowParallel
+// through the full engine stack (the fan-out must be byte-identical at
+// any GOMAXPROCS, including 1, where WindowAuto would never choose it).
+var windowMode memsys.WindowMode
+
 // Run executes one simulation.
 func Run(opt Options) (Result, error) {
 	if len(opt.Workloads) == 0 && len(opt.Generators) == 0 {
@@ -212,6 +219,14 @@ func Run(opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	ctrl.SetWindowMode(windowMode)
+	// The event-horizon engine elides provably no-op channel ticks via
+	// the horizon cache; the per-cycle engine stays the pure lockstep
+	// reference (every channel scans every cycle).
+	ctrl.SetTickElision(!perCycle)
+	// Multi-channel window advancement may lazily start per-channel
+	// worker goroutines; stop them when the run ends.
+	defer ctrl.Close()
 
 	gens := opt.Generators
 	if len(gens) == 0 {
@@ -242,7 +257,13 @@ func Run(opt Options) (Result, error) {
 	// controllers place in front of the queue. The rotation is derived
 	// from the controller cycle, which event-horizon leaps preserve,
 	// so both engines arbitrate identically (see engine.go).
-	eng := &engine{cores: cores, ctrl: ctrl, perCycle: perCycle, runnable: make([]bool, len(cores))}
+	eng := &engine{
+		cores:    cores,
+		ctrl:     ctrl,
+		perCycle: perCycle,
+		multi:    ctrl.NumChannels() > 1,
+		runnable: make([]bool, len(cores)),
+	}
 	if opt.Profile {
 		eng.prof = newProfCollector()
 	}
