@@ -11,7 +11,8 @@
 //
 //	pacramd [-addr :8793] [-parallel N] [-cache DIR] [-store URL]
 //	        [-mem-store MB] [-drain-timeout 2m] [-log-level info]
-//	        [-trace DIR]
+//	        [-trace DIR] [-coordinator URL] [-advertise URL]
+//	        [-worker-name NAME] [-heartbeat D]
 //
 // Logs are structured (log/slog text format) on stderr; -log-level
 // takes debug, info, warn or error. -trace records one span-tree trace
@@ -31,9 +32,20 @@
 // CLI run's -store, at this daemon's base URL to share finished cells
 // across machines and processes of the same build.
 //
-// On SIGINT/SIGTERM the server drains: new submissions are rejected
-// with 503 while running jobs finish (bounded by -drain-timeout), then
-// the listener shuts down.
+// -coordinator turns the daemon into a sweep-fabric worker: it
+// registers with the coordinator daemon at the given URL (advertising
+// -advertise, default http://localhost<addr>) and executes cells the
+// coordinator dispatches to it, alongside any local submissions it
+// receives directly. Unless -store is set explicitly, a worker mounts
+// its coordinator as its remote store tier, so results it computes
+// land fleet-visible. The coordinator is just a daemon with workers
+// attached — any pacramd accepts registrations.
+//
+// On SIGINT/SIGTERM the server drains: a worker first leaves the fleet
+// (new dispatches are answered 503 and remap to other workers), then
+// new submissions are rejected with 503 while running jobs and
+// accepted cells finish (bounded by -drain-timeout), then the listener
+// shuts down.
 package main
 
 import (
@@ -52,6 +64,15 @@ import (
 	"pacram/internal/service"
 )
 
+// fleetFlags groups the worker-mode knobs so run's signature stays
+// readable.
+type fleetFlags struct {
+	coordinator string
+	advertise   string
+	workerName  string
+	heartbeat   time.Duration
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8793", "listen address")
@@ -62,6 +83,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for running jobs on shutdown")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		traceDir     = flag.String("trace", "", "record one span-tree trace file per job in this directory (see cmd/tracetool)")
+		coordinator  = flag.String("coordinator", "", "join the sweep fabric as a worker of the coordinator daemon at this URL")
+		advertise    = flag.String("advertise", "", "URL the coordinator reaches this worker at (default: http://localhost<addr>)")
+		workerName   = flag.String("worker-name", "", "stable fleet identity (default: <hostname>-<pid>)")
+		heartbeat    = flag.Duration("heartbeat", 0, "worker heartbeat interval (0: a third of the coordinator's TTL)")
 	)
 	flag.Parse()
 	level, err := parseLevel(*logLevel)
@@ -69,7 +94,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *parallel, *cacheDir, *storeURL, *traceDir, *memStoreMB, *drainTimeout, level); err != nil {
+	ff := fleetFlags{coordinator: *coordinator, advertise: *advertise, workerName: *workerName, heartbeat: *heartbeat}
+	if err := run(*addr, *parallel, *cacheDir, *storeURL, *traceDir, *memStoreMB, *drainTimeout, level, ff); err != nil {
 		fmt.Fprintf(os.Stderr, "pacramd: %v\n", err)
 		os.Exit(1)
 	}
@@ -91,11 +117,28 @@ func parseLevel(s string) (slog.Level, error) {
 	return 0, fmt.Errorf("unknown -log-level %q (have: debug info warn error)", s)
 }
 
-func run(addr string, parallel int, cacheDir, storeURL, traceDir string, memStoreMB int64, drainTimeout time.Duration, level slog.Level) error {
+// advertiseDefault derives the URL a coordinator can reach this
+// daemon at from its listen address: an address with no host listens
+// on every interface, so localhost works for single-machine fleets and
+// multi-machine setups must pass -advertise explicitly.
+func advertiseDefault(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
+}
+
+func run(addr string, parallel int, cacheDir, storeURL, traceDir string, memStoreMB int64, drainTimeout time.Duration, level slog.Level, ff fleetFlags) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	memBytes := memStoreMB << 20
 	if memStoreMB <= 0 {
 		memBytes = -1 // Config: negative disables the mem tier
+	}
+	if ff.coordinator != "" && storeURL == "" {
+		// A worker mounts its coordinator as its remote store tier:
+		// computed cells write back fleet-visible, and cells finished
+		// anywhere in the fleet are fetched instead of recomputed.
+		storeURL = ff.coordinator
 	}
 	srv, err := service.New(service.Config{
 		Workers:       parallel,
@@ -104,6 +147,7 @@ func run(addr string, parallel int, cacheDir, storeURL, traceDir string, memStor
 		MemStoreBytes: memBytes,
 		Logger:        logger,
 		TraceDir:      traceDir,
+		WorkerName:    ff.workerName,
 	})
 	if err != nil {
 		return err
@@ -120,15 +164,33 @@ func run(addr string, parallel int, cacheDir, storeURL, traceDir string, memStor
 		errCh <- nil
 	}()
 
+	var membership *service.Membership
+	if ff.coordinator != "" {
+		adv := ff.advertise
+		if adv == "" {
+			adv = advertiseDefault(addr)
+		}
+		membership = srv.JoinFleet(ff.coordinator, adv, ff.heartbeat)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		if membership != nil {
+			membership.Leave()
+		}
 		return err
 	case s := <-sig:
 		logger.Info("received signal, draining", "signal", s.String())
 	}
 
+	// Leave the fleet before draining: the coordinator stops dispatching
+	// here (its remaining cells remap or compute locally) while this
+	// daemon finishes the cells it already accepted.
+	if membership != nil {
+		membership.Leave()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := srv.Drain(ctx)

@@ -1,8 +1,12 @@
 // Command tracetool summarizes the span-tree traces pacramd
 // (-trace DIR) and scenario run (-trace FILE) record: one JSONL line
 // per span, one root span per simulation cell with its phases
-// (store-get, pool-wait, compute, store-put, coalesce-wait) as
-// children. Computed cells also carry the simulator's own wall-time
+// (store-get, pool-wait, compute, store-put, coalesce-wait — or, for
+// fabric-dispatched cells, dispatch-wait and remote-compute) as
+// children. Cells executed by fleet workers carry a "worker" attribute
+// on the root span; when any are present the report opens with a
+// fleet split attributing cells to machines, and the critical-path
+// lines name the executing worker. Computed cells also carry the simulator's own wall-time
 // split as sub-phases — sim-cores, sim-ctrl, and on multi-channel
 // shapes sim-windows and sim-window-merge (see sim.Profile) — so the
 // breakdown separates core ticking from controller work from
@@ -123,18 +127,51 @@ func summarize(w io.Writer, spans []telemetry.Span, top, buckets int) error {
 		}
 	}
 	var split []string
-	for _, o := range []string{"computed", "cached", "coalesced", "failed"} {
+	for _, o := range []string{"computed", "cached", "coalesced", "remote", "failed"} {
 		if n := outcomes[o]; n > 0 {
 			split = append(split, fmt.Sprintf("%d %s", n, o))
 		}
 	}
 	fmt.Fprintf(w, "trace %s: %d cells (%s), wall %s\n",
 		trace, len(cells), strings.Join(split, ", "), fmtDur(end-start))
+	fleetSplit(w, cells)
 
 	phaseBreakdown(w, cells)
 	timeline(w, cells, start, end, buckets)
 	criticalPath(w, cells, top)
 	return nil
+}
+
+// fleetSplit attributes cells to the machines that executed them when
+// the trace has any fabric-dispatched cells (root spans carry a
+// "worker" attribute). Purely local traces print nothing, keeping
+// pre-fabric output byte-identical.
+func fleetSplit(w io.Writer, cells []*cell) {
+	counts := map[string]int{}
+	local := 0
+	for _, c := range cells {
+		if name := c.root.Attrs["worker"]; name != "" {
+			counts[name]++
+		} else {
+			local++
+		}
+	}
+	if len(counts) == 0 {
+		return
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names)+1)
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s: %d", n, counts[n]))
+	}
+	if local > 0 {
+		parts = append(parts, fmt.Sprintf("local: %d", local))
+	}
+	fmt.Fprintf(w, "fleet: %s\n", strings.Join(parts, ", "))
 }
 
 // phaseBreakdown aggregates every phase span by name.
@@ -239,7 +276,11 @@ func criticalPath(w io.Writer, cells []*cell, top int) {
 	fmt.Fprintf(w, "\ncritical path (slowest %d of %d cells):\n", top, len(sorted))
 	for _, c := range sorted[:top] {
 		total := c.root.End - c.root.Start
-		fmt.Fprintf(w, "  %s (%s) %s\n", c.root.Cell, c.root.Attrs["outcome"], fmtDur(total))
+		outcome := c.root.Attrs["outcome"]
+		if worker := c.root.Attrs["worker"]; worker != "" {
+			outcome += " @ " + worker
+		}
+		fmt.Fprintf(w, "  %s (%s) %s\n", c.root.Cell, outcome, fmtDur(total))
 		phases := append([]telemetry.Span(nil), c.phases...)
 		sort.Slice(phases, func(i, j int) bool {
 			if phases[i].Start != phases[j].Start {

@@ -1,0 +1,69 @@
+#!/bin/sh
+# One-command local sweep-fabric bring-up: a coordinator plus N worker
+# daemons on localhost, each worker registered with the coordinator and
+# mounting it as its shared result-store origin.
+#
+# Usage:
+#
+#   examples/cluster/up.sh [WORKERS]   # default 2
+#
+# Then point any scenario run at the coordinator:
+#
+#   go run ./cmd/scenario run dual-channel-datacenter -remote http://localhost:8793
+#
+# Watch the fleet:
+#
+#   curl -s http://localhost:8793/api/v1/fabric/workers | python3 -m json.tool
+#
+# Ctrl-C tears everything down in order: workers leave the fleet and
+# drain their accepted cells, then the coordinator drains.
+set -eu
+
+WORKERS="${1:-2}"
+COORD_ADDR="${COORD_ADDR:-127.0.0.1:8793}"
+BASE_WORKER_PORT="${BASE_WORKER_PORT:-8801}"
+BIN="$(mktemp -d)/pacramd"
+
+echo "building pacramd..."
+go build -o "$BIN" ./cmd/pacramd
+
+WORKER_PIDS=""
+cleanup() {
+    # TERM the workers first so they deregister while the coordinator
+    # is still up, then drain the coordinator.
+    for pid in $WORKER_PIDS; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in $WORKER_PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    kill -TERM "$COORD_PID" 2>/dev/null || true
+    wait "$COORD_PID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+echo "starting coordinator on $COORD_ADDR"
+"$BIN" -addr "$COORD_ADDR" &
+COORD_PID="$!"
+
+for i in $(seq 1 "$WORKERS"); do
+    port=$((BASE_WORKER_PORT + i - 1))
+    echo "starting worker w-$i on 127.0.0.1:$port"
+    "$BIN" -addr "127.0.0.1:$port" \
+        -coordinator "http://$COORD_ADDR" \
+        -worker-name "w-$i" &
+    WORKER_PIDS="$WORKER_PIDS $!"
+done
+
+# Wait for every worker to appear in the coordinator's registry.
+for _ in $(seq 1 50); do
+    n=$(curl -fs "http://$COORD_ADDR/api/v1/fabric/workers" 2>/dev/null \
+        | python3 -c 'import json,sys; print(len(json.load(sys.stdin)))' 2>/dev/null || echo 0)
+    [ "$n" = "$WORKERS" ] && break
+    sleep 0.2
+done
+echo
+echo "fleet up: $n/$WORKERS workers registered with http://$COORD_ADDR"
+echo "submit sweeps with:  go run ./cmd/scenario run <name> -remote http://$COORD_ADDR"
+echo "press Ctrl-C to drain and stop the fleet"
+wait

@@ -25,17 +25,26 @@ type Event struct {
 	Coalesced bool
 	// Err is the job's failure, nil on success.
 	Err error
+	// Worker names the remote machine that executed the cell when it
+	// was dispatched over a RemoteExecutor; "" for locally-handled
+	// cells, so consumers that predate the fabric see no change.
+	Worker string
 	// Done counts this Run invocation's finished jobs, Total its
 	// planned jobs. Done is unique and dense per invocation (1..Total)
 	// even though events arrive concurrently.
 	Done, Total int
 	// WaitNanos is how long the cell waited before work could start:
 	// for a pool slot when it was computed here, for another
-	// invocation's in-flight computation when coalesced. 0 for store
-	// hits.
+	// invocation's in-flight computation when coalesced, or — for
+	// remotely-executed cells — the dispatch round trip minus the
+	// worker's reported compute time (network plus the worker's own
+	// queueing). 0 for store hits.
 	WaitNanos int64
-	// ComputeNanos is the compute-phase duration; 0 unless the cell
-	// was computed by this invocation.
+	// ComputeNanos is the compute-phase duration: this invocation's
+	// own compute, or the worker-reported compute for remote cells.
+	// Dispatch queueing never lands here, so per-cell compute totals
+	// (and the ETAs derived from them) stay honest when a slow worker
+	// holds many cells.
 	ComputeNanos int64
 }
 
@@ -145,7 +154,15 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 		seen[j.Key] = true
 	}
 
+	// Dispatch goroutines are sized to the whole fleet, not just the
+	// local slots: remote execution consumes no local slot, so a fleet
+	// of workers is kept busy only if enough cells are in flight at
+	// once. Capacity is a sizing hint sampled here — workers joining
+	// mid-run raise throughput of the *next* invocation.
 	workers := cap(p.slots)
+	if opt.Remote != nil {
+		workers += opt.Remote.Capacity()
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -252,20 +269,93 @@ func (p *Pool[T]) Run(opt Options, jobs []Job[T]) (map[string]T, error) {
 					close(f.done)
 				}
 
-				if opt.Store != nil {
+				// tryStore serves the cell from the result store when
+				// present, closing out the flight as a cache hit. It runs
+				// before any work — and again after a failed dispatch,
+				// because a dying worker may have written its result back
+				// before the wire broke.
+				tryStore := func() bool {
+					if opt.Store == nil {
+						return false
+					}
 					getStart := time.Now()
 					hit, gerr := GetCell(opt.Store, hash, opt.Fingerprint, j.Key, &results[i])
 					ct.phase("store-get", getStart, time.Now())
 					if gerr != nil {
 						warn(warningFor(j.Key, "get", gerr))
 					}
-					if hit {
-						f.cached = true
+					if !hit {
+						return false
+					}
+					f.cached = true
+					finish(results[i], nil)
+					now := time.Now()
+					p.metrics.cellDone(OutcomeCached, now.Sub(cellStart), 0)
+					ct.finish(OutcomeCached, now)
+					emit(Event{Key: j.Key, Cached: true})
+					return true
+				}
+				if tryStore() {
+					continue
+				}
+
+				// Remote dispatch: hand the cell to the fleet when an
+				// executor is configured and a worker claims it. Every
+				// failure path falls through to the local compute below —
+				// a fleet of zero workers, a draining worker, a dead one
+				// or a build-skewed envelope all degrade to exactly the
+				// local behavior, byte-identically.
+				if opt.Remote != nil {
+					dispatchStart := time.Now()
+					rr, ok, rerr := opt.Remote.Execute(j.Key, opt.Fingerprint, opt.Seed)
+					switch {
+					case rerr != nil:
+						warn(warningFor(j.Key, "dispatch", rerr))
+						if tryStore() {
+							continue
+						}
+					case ok:
+						if derr := DecodeCellEnvelope(rr.Data, opt.Fingerprint, j.Key, &results[i]); derr != nil {
+							warn(warningFor(j.Key, "dispatch", derr))
+							break
+						}
+						end := time.Now()
+						roundtrip := end.Sub(dispatchStart)
+						compute := time.Duration(rr.ComputeNanos)
+						if compute > roundtrip {
+							compute = roundtrip
+						}
+						// The round trip splits into queue time (network
+						// plus the worker's own pool wait) and the
+						// worker's compute; the trace spans are synthetic,
+						// anchored backwards from the response.
+						wait := roundtrip - compute
+						ct.phase("dispatch-wait", dispatchStart, dispatchStart.Add(wait))
+						if compute > 0 {
+							ct.phase("remote-compute", dispatchStart.Add(wait), end)
+						}
+						ct.worker(rr.Worker)
+						if opt.Store != nil {
+							// The envelope is already in store currency:
+							// land it in the local tiers so the next sweep
+							// (or a coordinator restart) finds it without
+							// asking the fleet.
+							putStart := time.Now()
+							if serr := opt.Store.Put(hash, rr.Data); serr != nil {
+								warn(warningFor(j.Key, "put", serr))
+							}
+							ct.phase("store-put", putStart, time.Now())
+						}
 						finish(results[i], nil)
 						now := time.Now()
-						p.metrics.cellDone(OutcomeCached, now.Sub(cellStart), 0)
-						ct.finish(OutcomeCached, now)
-						emit(Event{Key: j.Key, Cached: true})
+						outcome := OutcomeRemote
+						if rr.Cached {
+							outcome = OutcomeCached
+						}
+						p.metrics.cellDone(outcome, now.Sub(cellStart), compute)
+						ct.finish(outcome, now)
+						emit(Event{Key: j.Key, Cached: rr.Cached, Worker: rr.Worker,
+							WaitNanos: int64(wait), ComputeNanos: int64(compute)})
 						continue
 					}
 				}

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over named nodes: cell keys map onto
+// the node owning the first ring point at or after the key's hash. Each
+// node holds `replicas` points, so keys spread evenly and — the
+// property the sweep fabric leans on — a node joining or leaving remaps
+// only the arcs adjacent to its own points: every key that keeps an
+// owner keeps the *same* owner, so worker-side cache locality survives
+// membership churn (TestRingRemapBound pins this exactly).
+//
+// Ring is not safe for concurrent use; callers (the service's fleet
+// registry) guard it with their own lock.
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	// points is sorted by hash; ties cannot occur in practice (64-bit
+	// hashes over distinct strings) but are broken by node name for
+	// determinism anyway.
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultRingReplicas is the virtual-node count per member: enough
+// that a three-node fleet splits a catalog sweep within a few percent
+// of evenly, cheap enough that membership changes rebuild in
+// microseconds.
+const DefaultRingReplicas = 128
+
+// NewRing builds an empty ring; replicas <= 0 means
+// DefaultRingReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// ringHash positions a string on the ring. sha256 rather than a fast
+// non-cryptographic hash: placement quality matters more than speed
+// (Owner is called once per cell, next to a simulation), and the
+// avalanche behavior keeps sequential node names ("w-1", "w-2") from
+// clustering.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (a no-op if already present) and rebuilds the
+// point table.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(node + "\x1f" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a node and its points; unknown nodes are a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key, "" when the ring is empty. The
+// mapping depends only on the membership set and the key — never on
+// insertion order — so every replica of the registry agrees.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-%d@%08x", i, i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministic: ownership depends only on the membership set,
+// never on insertion order.
+func TestRingDeterministic(t *testing.T) {
+	keys := ringKeys(1000)
+	a := NewRing(0)
+	for _, n := range []string{"w-1", "w-2", "w-3"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"w-3", "w-1", "w-2"} {
+		b.Add(n)
+	}
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s under different insertion orders", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if got := a.Owner("anything"); got == "" {
+		t.Fatal("non-empty ring returned no owner")
+	}
+	if got := NewRing(0).Owner("anything"); got != "" {
+		t.Fatalf("empty ring returned owner %q", got)
+	}
+}
+
+// TestRingRemapBound is the arc property the fleet's cache locality
+// rests on: adding a node steals keys only for itself (every remapped
+// key's new owner is the joiner), and removing a node disturbs only the
+// keys it owned (every other key keeps its owner).
+func TestRingRemapBound(t *testing.T) {
+	keys := ringKeys(5000)
+	r := NewRing(0)
+	for _, n := range []string{"w-1", "w-2", "w-3"} {
+		r.Add(n)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	r.Add("w-4")
+	remapped := 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if now != before[k] {
+			remapped++
+			if now != "w-4" {
+				t.Fatalf("key %s remapped %s → %s on w-4 joining; only w-4 may gain keys", k, before[k], now)
+			}
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("w-4 joined but owns no keys")
+	}
+	// w-4 should take roughly its fair quarter, not the whole ring.
+	if remapped > len(keys)/2 {
+		t.Fatalf("w-4 joining remapped %d of %d keys; arc remap should be ~1/4", remapped, len(keys))
+	}
+
+	after := make(map[string]string, len(keys))
+	for _, k := range keys {
+		after[k] = r.Owner(k)
+	}
+	r.Remove("w-2")
+	for _, k := range keys {
+		now := r.Owner(k)
+		if after[k] != "w-2" && now != after[k] {
+			t.Fatalf("key %s owned by %s remapped to %s when w-2 left; only w-2's keys may move", k, after[k], now)
+		}
+		if after[k] == "w-2" && now == "w-2" {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+	}
+}
+
+// TestRingSpread: with default replicas, a three-node fleet splits a
+// realistic key population without pathological skew.
+func TestRingSpread(t *testing.T) {
+	keys := ringKeys(9000)
+	r := NewRing(0)
+	nodes := []string{"w-1", "w-2", "w-3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys; spread is pathological: %v", n, 100*share, counts)
+		}
+	}
+	if got := r.Nodes(); len(got) != 3 || got[0] != "w-1" || got[2] != "w-3" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+// BenchmarkRingOwner is the dispatch path's per-cell lookup cost.
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(0)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("w-%d", i))
+	}
+	keys := ringKeys(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}

@@ -51,6 +51,13 @@ type Options struct {
 	// a pacramd cache origin (NewRemoteStore), or a tiered stack of
 	// them (NewTiered). See OpenStore for the standard composition.
 	Store Store
+	// Remote, when non-nil, may execute owner-path cells on remote
+	// worker machines instead of the local pool slots (the sweep
+	// fabric's coordinator wires one in per submission). Results are
+	// byte-identical whether a cell ran locally or on any worker; when
+	// the executor declines or fails, the cell is computed locally —
+	// see RemoteExecutor for the exact contract.
+	Remote RemoteExecutor
 	// Progress, when non-nil, receives streaming progress and ETA
 	// lines (typically os.Stderr).
 	Progress io.Writer
@@ -84,12 +91,13 @@ type Options struct {
 }
 
 // Warning is one non-fatal degradation notice: a failing store
-// operation that cost duplicated work or an uncached result, never a
-// wrong one.
+// operation or remote dispatch that cost duplicated work or an
+// uncached result, never a wrong one.
 type Warning struct {
 	// Cell is the job key of the affected cell.
 	Cell string
-	// Op is the failing store operation: "get" or "put".
+	// Op is the failing operation: "get" or "put" for the result
+	// store, "dispatch" for a failed remote execution.
 	Op string
 	// Location names where the offending bytes live when the backend
 	// can say (corrupt disk entries above all); "" otherwise.
@@ -102,8 +110,11 @@ type Warning struct {
 // Message renders the warning exactly as Options.Warnf receives it,
 // byte-for-byte what the free-text surface always printed.
 func (w Warning) Message() string {
-	if w.Op == "get" {
+	switch w.Op {
+	case "get":
 		return fmt.Sprintf("runner: warning: degraded cache read for %v (recomputing if needed)", w.Err)
+	case "dispatch":
+		return fmt.Sprintf("runner: warning: remote dispatch failed for %s (computing locally): %v", w.Cell, w.Err)
 	}
 	return fmt.Sprintf("runner: warning: cannot cache %s (continuing uncached): %v", w.Cell, w.Err)
 }
@@ -138,20 +149,20 @@ func (o Options) WithStore(cacheDir, remoteURL string) (Options, error) {
 // many times, and only the first request plans the job.
 type Matrix[T any] struct {
 	jobs []Job[T]
-	seen map[string]bool
+	seen map[string]int // key → index into jobs
 }
 
 // NewMatrix returns an empty matrix.
 func NewMatrix[T any]() *Matrix[T] {
-	return &Matrix[T]{seen: make(map[string]bool)}
+	return &Matrix[T]{seen: make(map[string]int)}
 }
 
 // Add plans one job unless key is already planned.
 func (m *Matrix[T]) Add(key string, run func(Ctx) (T, error)) {
-	if m.seen[key] {
+	if _, ok := m.seen[key]; ok {
 		return
 	}
-	m.seen[key] = true
+	m.seen[key] = len(m.jobs)
 	m.jobs = append(m.jobs, Job[T]{Key: key, Run: run})
 }
 
@@ -159,7 +170,20 @@ func (m *Matrix[T]) Add(key string, run func(Ctx) (T, error)) {
 func (m *Matrix[T]) Len() int { return len(m.jobs) }
 
 // Has reports whether a job with the given key is already planned.
-func (m *Matrix[T]) Has(key string) bool { return m.seen[key] }
+func (m *Matrix[T]) Has(key string) bool {
+	_, ok := m.seen[key]
+	return ok
+}
+
+// Job returns the planned job with the given key. Fabric workers use
+// it to run exactly one cell of a compiled plan on request.
+func (m *Matrix[T]) Job(key string) (Job[T], bool) {
+	i, ok := m.seen[key]
+	if !ok {
+		return Job[T]{}, false
+	}
+	return m.jobs[i], true
+}
 
 // Jobs returns the planned jobs in planning order.
 func (m *Matrix[T]) Jobs() []Job[T] { return m.jobs }

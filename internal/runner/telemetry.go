@@ -14,6 +14,9 @@ const (
 	OutcomeCached    = "cached"
 	OutcomeCoalesced = "coalesced"
 	OutcomeFailed    = "failed"
+	// OutcomeRemote marks a cell executed on a remote worker via a
+	// RemoteExecutor (worker-side cache hits report OutcomeCached).
+	OutcomeRemote = "remote"
 )
 
 // poolMetrics is a Pool's resolved instrument set. The zero value
@@ -56,6 +59,7 @@ func (p *Pool[T]) Instrument(reg *telemetry.Registry) {
 			OutcomeCached:    outcomes.With(OutcomeCached),
 			OutcomeCoalesced: outcomes.With(OutcomeCoalesced),
 			OutcomeFailed:    outcomes.With(OutcomeFailed),
+			OutcomeRemote:    outcomes.With(OutcomeRemote),
 		},
 		cellSeconds: reg.Histogram("pacram_pool_cell_seconds",
 			"End-to-end wall time per cell, store lookups and queueing included.", telemetry.DurationBuckets()),
@@ -77,9 +81,10 @@ func (m *poolMetrics) cellDone(outcome string, cell, compute time.Duration) {
 // contiguous batch when the cell finishes. A nil *cellTrace (tracing
 // off) is a no-op on every method.
 type cellTrace struct {
-	w    *telemetry.TraceWriter
-	root telemetry.Span
-	kids []telemetry.Span
+	w          *telemetry.TraceWriter
+	root       telemetry.Span
+	kids       []telemetry.Span
+	workerName string
 }
 
 // newCellTrace opens the root "cell" span for job index i of an
@@ -113,6 +118,15 @@ func (c *cellTrace) phase(name string, start, end time.Time) {
 	})
 }
 
+// worker attributes the cell to the remote machine that executed it;
+// tracetool's fleet split reads it back off the root span.
+func (c *cellTrace) worker(name string) {
+	if c == nil || name == "" {
+		return
+	}
+	c.workerName = name
+}
+
 // finish closes the root span with its outcome and persists the tree.
 func (c *cellTrace) finish(outcome string, end time.Time) {
 	if c == nil {
@@ -120,5 +134,8 @@ func (c *cellTrace) finish(outcome string, end time.Time) {
 	}
 	c.root.End = end.UnixNano()
 	c.root.Attrs = map[string]string{"outcome": outcome}
+	if c.workerName != "" {
+		c.root.Attrs["worker"] = c.workerName
+	}
 	c.w.WriteAll(append([]telemetry.Span{c.root}, c.kids...))
 }

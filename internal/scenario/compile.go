@@ -140,6 +140,10 @@ func (p *Plan) Cells() []Cell { return p.cells }
 // Jobs returns the number of distinct simulation cells the plan runs.
 func (p *Plan) Jobs() int { return p.matrix.Len() }
 
+// Job returns the plan's runner job for one cell key; fabric workers
+// use it to execute exactly one dispatched cell of a shipped plan.
+func (p *Plan) Job(key string) (runner.Job[sim.Result], bool) { return p.matrix.Job(key) }
+
 // Rows returns the number of output rows (sweep points).
 func (p *Plan) Rows() int { return len(p.rows) }
 

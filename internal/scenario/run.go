@@ -41,6 +41,10 @@ type RunOptions struct {
 	// Store, when non-nil, is a pre-opened shared result store; it
 	// takes precedence over CacheDir and StoreURL.
 	Store runner.Store
+	// Remote, when non-nil, may execute owner-path cells on fleet
+	// workers (see runner.Options.Remote); results stay byte-identical
+	// to a local run.
+	Remote runner.RemoteExecutor
 	// OnEvent, when non-nil, receives one event per finished cell
 	// (see runner.Event). Must be safe for concurrent use.
 	OnEvent func(runner.Event)
@@ -81,6 +85,7 @@ func (p *Plan) Run(opt RunOptions) (*exp.Table, error) {
 		Progress:    opt.Progress,
 		Label:       p.Spec.Name,
 		Store:       opt.Store,
+		Remote:      opt.Remote,
 		OnEvent:     opt.OnEvent,
 		Warnf:       opt.Warnf,
 		OnWarning:   opt.OnWarning,

@@ -125,6 +125,13 @@ func (c *Client) StoreStats() ([]runner.TierStats, error) {
 	return out, err
 }
 
+// Workers lists the coordinator's registered fleet workers.
+func (c *Client) Workers() ([]WorkerStatus, error) {
+	var out []WorkerStatus
+	err := c.getJSON(pathFabricWorkers, &out)
+	return out, err
+}
+
 // Validate asks the server to fully resolve a scenario without
 // running it. A validation failure comes back as an error carrying
 // the server's message (the same message local validation produces).

@@ -66,6 +66,18 @@ type Config struct {
 	// summarizer). Tracing is observability: a failing trace file is
 	// logged, never fails the job.
 	TraceDir string
+	// WorkerName identifies this daemon in the fleet: the name it
+	// registers under when joining a coordinator, and the name stamped
+	// on cells it executes for one. Empty derives a host-pid default.
+	WorkerName string
+	// WorkerTTL is how long the coordinator keeps a silent worker in
+	// the dispatch ring before expiring it; <= 0 uses the default
+	// (15 s). Workers heartbeat at a third of this.
+	WorkerTTL time.Duration
+	// DispatchTimeout caps one cell dispatch round trip; 0 means no
+	// timeout (cells legitimately compute for minutes). A dispatch that
+	// times out is a worker failure: evict, warn, compute locally.
+	DispatchTimeout time.Duration
 }
 
 const defaultRetainJobs = 256
@@ -92,8 +104,15 @@ type Server struct {
 	reg     *telemetry.Registry
 	metrics serverMetrics
 
+	// fleet is the coordinator-side worker registry (always present;
+	// empty until workers register). workerName is this daemon's fleet
+	// identity; plans caches compiled plans shipped by a coordinator.
+	fleet      *fleet
+	workerName string
+	plans      planCache
+
 	draining atomic.Bool
-	running  sync.WaitGroup // one count per executing job
+	running  sync.WaitGroup // one count per executing job or dispatched cell
 
 	// catalog is compiled once at construction: the built-in entries
 	// are static per build, and both the catalog endpoint and remote
@@ -123,6 +142,8 @@ type job struct {
 	done          int
 	cached        int
 	coalesced     int
+	remote        int
+	workers       map[string]int
 	waitMicros    int64
 	computeMicros int64
 	errMsg        string
@@ -182,6 +203,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pool.Instrument(s.reg)
 	s.metrics = newServerMetrics(s.reg, s.store)
+	s.workerName = cfg.WorkerName
+	if s.workerName == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		s.workerName = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	s.fleet = newFleet(cfg.WorkerTTL, cfg.DispatchTimeout, s.log, s.reg)
 
 	specs, err := scenario.Catalog()
 	if err != nil {
@@ -213,6 +243,14 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+pathJobs+"/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET "+pathJobs+"/{id}/table", s.handleTable)
 	mux.HandleFunc("GET "+pathJobs+"/{id}/csv", s.handleCSV)
+	// The fleet wire protocol: register/heartbeat/deregister/workers
+	// form the coordinator's registry; execute is the worker role every
+	// daemon can play.
+	mux.HandleFunc("POST "+pathFabricRegister, s.handleFabricRegister)
+	mux.HandleFunc("POST "+pathFabricHeartbeat, s.handleFabricHeartbeat)
+	mux.HandleFunc("POST "+pathFabricDeregister, s.handleFabricDeregister)
+	mux.HandleFunc("GET "+pathFabricWorkers, s.handleFabricWorkers)
+	mux.HandleFunc("POST "+pathFabricExecute, s.handleFabricExecute)
 	// The store wire protocol: any daemon doubles as a cache origin
 	// for other daemons (their Config.StoreURL) and for CLI -store
 	// runs. The literal /stats path wins over the {hash} wildcard.
@@ -377,6 +415,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	// Marshal the resolved spec once for the fleet: execute requests
+	// ship it so workers compile the identical plan (key identity across
+	// marshal→parse→compile is pinned by scenario.TestSpecWireRoundTrip).
+	specBytes, err := json.Marshal(sp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "marshaling spec for dispatch: %v", err)
+		return
+	}
 
 	s.mu.Lock()
 	// Re-check under the registry lock so a drain begun between the
@@ -407,25 +453,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.jobsRunning.Inc()
 	s.log.Info("job accepted",
 		"job", j.id, "scenario", j.scenario, "cells", j.total, "rows", j.rows)
-	go s.execute(j, plan)
+	go s.execute(j, plan, specBytes)
 
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// execute runs one job to completion on the shared pool.
-func (s *Server) execute(j *job, plan *scenario.Plan) {
+// execute runs one job to completion on the shared pool, dispatching
+// owner-path cells to fleet workers when any are registered.
+func (s *Server) execute(j *job, plan *scenario.Plan, specBytes []byte) {
 	defer s.running.Done()
 	defer s.metrics.jobsRunning.Dec()
 	tw := s.openTrace(j.id)
 	tbl, err := plan.Run(scenario.RunOptions{
 		Pool:    s.pool,
 		Store:   s.store,
+		Remote:  s.fleet.dispatcher(specBytes),
 		Trace:   tw,
 		TraceID: j.id,
-		// A degrading result store must reach the operator's log: it
-		// silently turns exactly-once into recompute-per-submission.
+		// A degrading result store or fleet must reach the operator's
+		// log: it silently turns exactly-once into recompute, never into
+		// wrong results.
 		OnWarning: func(w runner.Warning) {
-			s.log.Warn("store degraded",
+			msg := "store degraded"
+			if w.Op == "dispatch" {
+				msg = "dispatch degraded"
+			}
+			s.log.Warn(msg,
 				"job", j.id, "cell", w.Cell, "op", w.Op,
 				"location", w.Location, "err", w.Err)
 		},
@@ -434,6 +487,7 @@ func (s *Server) execute(j *job, plan *scenario.Plan) {
 				Key:           ev.Key,
 				Cached:        ev.Cached,
 				Coalesced:     ev.Coalesced,
+				Worker:        ev.Worker,
 				Done:          ev.Done,
 				Total:         ev.Total,
 				WaitMicros:    ev.WaitNanos / 1e3,
@@ -503,6 +557,15 @@ func (j *job) addEvent(ev CellEvent) {
 	if ev.Coalesced {
 		j.coalesced++
 	}
+	if ev.Worker != "" {
+		if !ev.Cached {
+			j.remote++
+		}
+		if j.workers == nil {
+			j.workers = make(map[string]int)
+		}
+		j.workers[ev.Worker]++
+	}
 	j.waitMicros += ev.WaitMicros
 	j.computeMicros += ev.ComputeMicros
 	j.broadcastLocked()
@@ -532,11 +595,18 @@ func (j *job) statusLocked() JobStatus {
 		Done:          j.done,
 		Cached:        j.cached,
 		Coalesced:     j.coalesced,
+		Remote:        j.remote,
 		Rows:          j.rows,
 		Error:         j.errMsg,
 		WaitMicros:    j.waitMicros,
 		ComputeMicros: j.computeMicros,
 		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339),
+	}
+	if len(j.workers) > 0 {
+		st.Workers = make(map[string]int, len(j.workers))
+		for w, n := range j.workers {
+			st.Workers[w] = n
+		}
 	}
 	if !j.finished.IsZero() {
 		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)

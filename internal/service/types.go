@@ -33,6 +33,13 @@ const (
 	pathValidate   = "/api/v1/validate"
 	pathJobs       = "/api/v1/jobs"
 	pathStoreStats = runner.StorePathPrefix + "/stats"
+	// Fabric paths: the coordinator's worker registry plus the execute
+	// endpoint every daemon exposes (worker is a role, not a build).
+	pathFabricRegister   = "/api/v1/fabric/register"
+	pathFabricHeartbeat  = "/api/v1/fabric/heartbeat"
+	pathFabricDeregister = "/api/v1/fabric/deregister"
+	pathFabricWorkers    = "/api/v1/fabric/workers"
+	pathFabricExecute    = "/api/v1/fabric/execute"
 	// pathProm is the Prometheus text exposition of the same registry
 	// pathMetrics serves as JSON; it lives outside /api/v1 because
 	// scrapers conventionally expect the bare path.
@@ -94,6 +101,12 @@ type JobStatus struct {
 	Cached    int `json:"cached"`
 	Coalesced int `json:"coalesced"`
 	Rows      int `json:"rows"`
+	// Remote counts cells executed on fleet workers; Workers breaks all
+	// worker-attributed cells down by worker name (worker-side cache
+	// hits included). Both stay empty on a fleetless server, keeping the
+	// schema backward compatible.
+	Remote  int            `json:"remote,omitempty"`
+	Workers map[string]int `json:"workers,omitempty"`
 	// Error is the failure message when State is failed.
 	Error string `json:"error,omitempty"`
 	// WaitMicros totals the cells' pool-wait (and coalesce-wait) time;
@@ -122,6 +135,9 @@ type CellEvent struct {
 	// false means the cell was simulated for this job.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Worker names the fleet worker that executed the cell; empty for
+	// locally-handled cells, so pre-fabric consumers see no change.
+	Worker string `json:"worker,omitempty"`
 	// Error is the cell's failure, if any.
 	Error string `json:"error,omitempty"`
 	// Done counts the job's finished cells, Total its planned cells.
@@ -133,6 +149,80 @@ type CellEvent struct {
 	// (0 unless this job computed it).
 	WaitMicros    int64 `json:"waitMicros,omitempty"`
 	ComputeMicros int64 `json:"computeMicros,omitempty"`
+}
+
+// RegisterRequest announces a worker to a coordinator (and refreshes
+// an existing registration — register is idempotent).
+type RegisterRequest struct {
+	// Name identifies the worker across re-registrations; dispatch
+	// placement hashes cells against it, so keep it stable per machine.
+	Name string `json:"name"`
+	// URL is where the coordinator reaches the worker's API.
+	URL string `json:"url"`
+	// Slots is the worker's pool concurrency bound, the coordinator's
+	// dispatch-capacity hint.
+	Slots int `json:"slots"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	Name string `json:"name"`
+	// TTLMillis is the coordinator's liveness window: a worker whose
+	// heartbeats stop for longer is expired from the dispatch ring.
+	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// HeartbeatRequest refreshes (heartbeat) or removes (deregister) a
+// worker's registration. A 404 heartbeat answer means the coordinator
+// does not know the worker — it restarted — and the worker must
+// register again.
+type HeartbeatRequest struct {
+	Name string `json:"name"`
+}
+
+// ExecuteRequest ships one cell to a worker: the submission's full
+// scenario spec (the worker compiles and caches the plan itself) plus
+// the cell's key and the runner addressing parameters.
+type ExecuteRequest struct {
+	Spec        json.RawMessage `json:"spec"`
+	Key         string          `json:"key"`
+	Fingerprint string          `json:"fingerprint"`
+	Seed        uint64          `json:"seed"`
+}
+
+// ExecuteResponse answers one dispatched cell with its result-store
+// envelope — the exact bytes a store put of the cell writes, so the
+// coordinator validates and decodes it with the same code path as a
+// cache hit.
+type ExecuteResponse struct {
+	// Worker is the answering worker's name (it may differ from the
+	// registration if the operator renamed the daemon mid-flight).
+	Worker string `json:"worker"`
+	// Cached marks a cell the worker served from its own store or
+	// coalesced with an in-flight computation instead of computing.
+	Cached bool `json:"cached,omitempty"`
+	// ComputeNanos is the worker-side compute duration (0 when cached).
+	ComputeNanos int64 `json:"computeNanos,omitempty"`
+	// Entry is the cell's store envelope.
+	Entry json.RawMessage `json:"entry"`
+}
+
+// WorkerStatus is one registered worker's public state.
+type WorkerStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Slots int    `json:"slots"`
+	// State is ready (in the dispatch ring), draining (answered 503) or
+	// dead (a dispatch failed; heartbeats restore it).
+	State string `json:"state"`
+	// Cells counts dispatches this worker answered, Errors dispatches
+	// to it that failed, ComputeMicros its cumulative reported compute.
+	Cells         int64 `json:"cells"`
+	Errors        int64 `json:"errors,omitempty"`
+	ComputeMicros int64 `json:"computeMicros,omitempty"`
+	// RegisteredAt/LastSeen are RFC 3339 timestamps.
+	RegisteredAt string `json:"registeredAt"`
+	LastSeen     string `json:"lastSeen"`
 }
 
 // Error is the uniform non-2xx response body.
