@@ -115,7 +115,7 @@ func list(args []string) error {
 			return err
 		}
 		for _, e := range entries {
-			printCatalogEntry(e.Name, e.Cells, e.Rows, e.Description)
+			printCatalogEntry(os.Stdout, e.Name, e.Cells, e.Rows, e.Profile, e.Source, e.Description)
 		}
 		return nil
 	}
@@ -128,15 +128,17 @@ func list(args []string) error {
 		if err != nil {
 			return err
 		}
-		printCatalogEntry(s.Name, p.Jobs(), p.Rows(), s.Description)
+		printCatalogEntry(os.Stdout, s.Name, p.Jobs(), p.Rows(), s.MemoryProfile(), s.Sources(), s.Description)
 	}
 	return nil
 }
 
 // printCatalogEntry is the one list-line format, shared by the local
-// and remote branches so their output cannot drift apart.
-func printCatalogEntry(name string, cells, rows int, desc string) {
-	fmt.Printf("%-20s %3d cells, %2d rows  %s\n", name, cells, rows, desc)
+// and remote branches so their output cannot drift apart. An old
+// server omits profile/source; the columns print empty rather than
+// shifting.
+func printCatalogEntry(w io.Writer, name string, cells, rows int, profile, source, desc string) {
+	fmt.Fprintf(w, "%-20s %3d cells, %2d rows  %-12s %-26s %s\n", name, cells, rows, profile, source, desc)
 }
 
 func metrics(args []string) error {

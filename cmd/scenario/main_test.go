@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pacram/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables from the current output")
+
+// TestRunGolden pins the rendered table of the trace-replay and
+// directed-attack catalog scenarios byte for byte against committed
+// fixtures. The sweep engine guarantees byte-identical tables at any
+// -parallel, so the fixture is stable; a diff means a real behavior
+// change (re-run with -update to accept an intentional one).
+func TestRunGolden(t *testing.T) {
+	for _, name := range []string{"profile-sweep", "prac-stress"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenario.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := scenario.Run(s, scenario.RunOptions{Parallel: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tbl.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("table differs from golden (re-run with -update to accept):\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestListColumns checks the catalog listing's profile/source columns:
+// the shared line format renders them, and the new catalog entries
+// report the values the columns exist to surface.
+func TestListColumns(t *testing.T) {
+	var buf bytes.Buffer
+	printCatalogEntry(&buf, "profile-sweep", 4, 4, "4 profiles", "workload+trace", "desc")
+	line := buf.String()
+	for _, want := range []string{"profile-sweep", "4 cells", "4 profiles", "workload+trace", "desc"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("list line missing %q: %q", want, line)
+		}
+	}
+
+	wantCols := map[string][2]string{
+		"profile-sweep": {"4 profiles", "workload+trace"},
+		"prac-stress":   {"default", "workload+attacker"},
+	}
+	specs, err := scenario.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, s := range specs {
+		want, ok := wantCols[s.Name]
+		if !ok {
+			continue
+		}
+		seen++
+		if got := s.MemoryProfile(); got != want[0] {
+			t.Errorf("%s: MemoryProfile() = %q, want %q", s.Name, got, want[0])
+		}
+		if got := s.Sources(); got != want[1] {
+			t.Errorf("%s: Sources() = %q, want %q", s.Name, got, want[1])
+		}
+	}
+	if seen != len(wantCols) {
+		t.Errorf("found %d of %d expected catalog entries", seen, len(wantCols))
+	}
+}

@@ -1,0 +1,69 @@
+// Command tracefmt converts memory access traces between the
+// human-readable text format and the canonical binary format
+// (internal/trace). The input format is auto-detected from the
+// leading magic bytes, so converting in either direction — or
+// re-canonicalizing a trace in place — is the same invocation:
+//
+//	tracefmt -to binary app.trace app.bin
+//	tracefmt -to text app.bin            # to stdout
+//	tracefmt app.bin | less              # -to text is the default
+//
+// Both formats carry the identical record stream, and the scenario
+// engine content-addresses replay cores by the records' canonical
+// binary digest, so a converted trace drives byte-identical
+// simulation results — the CI smoke job verifies exactly that.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"pacram/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracefmt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	to := "text"
+	if len(args) >= 2 && args[0] == "-to" {
+		to = args[1]
+		args = args[2:]
+	}
+	if to != "text" && to != "binary" {
+		return fmt.Errorf("-to must be text or binary, got %q", to)
+	}
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: tracefmt [-to text|binary] <in> [out]")
+	}
+
+	recs, err := trace.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if len(args) == 2 {
+		f, err := os.Create(args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	if to == "binary" {
+		err = trace.EncodeBinary(bw, recs)
+	} else {
+		err = trace.WriteRecords(bw, recs)
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

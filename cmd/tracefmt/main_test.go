@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacram/internal/trace"
+)
+
+// TestConvertRoundTrip drives the tool the way the CI smoke job does:
+// text -> binary -> text must reproduce the records exactly, and the
+// binary intermediate must be auto-detected on the way back.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "a.trace")
+	bin := filepath.Join(dir, "a.bin")
+	back := filepath.Join(dir, "b.trace")
+
+	src := "# comment\n3 0x1000 R\n0 0x2040 W\n7 0x1000 R\n"
+	if err := os.WriteFile(text, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-to", "binary", text, bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-to", "text", bin, back}); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := trace.ReadFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("records changed across text->binary->text:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	raw, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || string(raw[:4]) != "PACT" {
+		t.Errorf("binary output missing magic: % x", raw[:min(len(raw), 8)])
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("no args: got %v", err)
+	}
+	if err := run([]string{"-to", "json", "x"}); err == nil || !strings.Contains(err.Error(), "text or binary") {
+		t.Errorf("bad format: got %v", err)
+	}
+	if err := run([]string{"does-not-exist.trace"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package ddr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile is one named, versioned device preset: a geometry and timing
+// pair describing a device class end to end, selectable in scenario
+// specs as memory.profile and sweepable like any axis. Hardware truth
+// lives here, validated and named, instead of being respelled as flag
+// soup per experiment. Version marks the preset revision: any change
+// to a profile's numbers must bump it, so result tables can say which
+// revision produced them (the values themselves are part of every
+// content-addressed job key, so stale caches are impossible either
+// way).
+type Profile struct {
+	Name     string
+	Version  int
+	Class    string // device family: DDR4, DDR5, LPDDR5, HBM2E
+	Geometry Geometry
+	Timing   Timing
+}
+
+// Validate checks the profile for internal consistency: legal
+// geometry, a self-consistent timing set, and the cross-parameter
+// relations a real device obeys.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("ddr: profile needs a name")
+	}
+	if p.Version < 1 {
+		return fmt.Errorf("ddr: profile %s: version must be >= 1, got %d", p.Name, p.Version)
+	}
+	if p.Class == "" {
+		return fmt.Errorf("ddr: profile %s: needs a device class", p.Name)
+	}
+	if err := p.Geometry.Validate(); err != nil {
+		return fmt.Errorf("ddr: profile %s: %w", p.Name, err)
+	}
+	if err := p.Timing.Validate(); err != nil {
+		return fmt.Errorf("ddr: profile %s: %w", p.Name, err)
+	}
+	t := p.Timing
+	if t.TFAW < t.TRRD {
+		return fmt.Errorf("ddr: profile %s: tFAW (%g) < tRRD (%g): a four-activate window cannot be shorter than one ACT-ACT gap",
+			p.Name, t.TFAW, t.TRRD)
+	}
+	if t.TRFC >= t.TREFI {
+		return fmt.Errorf("ddr: profile %s: tRFC (%g) >= tREFI (%g): refresh service would consume the whole interval",
+			p.Name, t.TRFC, t.TREFI)
+	}
+	if t.TCCDS > t.TCCD {
+		return fmt.Errorf("ddr: profile %s: tCCD_S (%g) > tCCD_L (%g)", p.Name, t.TCCDS, t.TCCD)
+	}
+	if p.Geometry.LineBytes != 64 {
+		return fmt.Errorf("ddr: profile %s: LineBytes must be 64 (the trace granularity), got %d",
+			p.Name, p.Geometry.LineBytes)
+	}
+	return nil
+}
+
+// profiles is the catalog, in display order. DDR4-2400 and DDR5-4800
+// carry the datasheet timing sets the paper's evaluation uses; the
+// LPDDR5 and HBM2E entries are class-representative presets (their
+// Class says so) for studying mitigation behaviour under mobile and
+// stacked-memory geometry — many narrow channels, smaller rows —
+// rather than reproductions of one specific part.
+var profiles = []Profile{
+	{
+		Name:    "DDR4-2400",
+		Version: 1,
+		Class:   "DDR4",
+		Geometry: Geometry{
+			Channels:      1,
+			Ranks:         2,
+			BankGroups:    4,
+			BanksPerGroup: 4,
+			Rows:          64 * 1024,
+			Columns:       128,
+			LineBytes:     64,
+		},
+		Timing: DDR4(),
+	},
+	{
+		Name:     "DDR5-4800",
+		Version:  1,
+		Class:    "DDR5",
+		Geometry: PaperSystem(),
+		Timing:   DDR5(),
+	},
+	{
+		Name:    "LPDDR5-6400",
+		Version: 1,
+		Class:   "LPDDR5",
+		Geometry: Geometry{
+			Channels:      2,
+			Ranks:         1,
+			BankGroups:    4,
+			BanksPerGroup: 4,
+			Rows:          64 * 1024,
+			Columns:       32, // 2KB rows
+			LineBytes:     64,
+		},
+		Timing: Timing{
+			Name:  "LPDDR5-6400",
+			TCK:   0.625,
+			TRCD:  18.0,
+			TRP:   18.0,
+			TRAS:  42.0,
+			TCL:   17.0,
+			TCWL:  14.0,
+			TBL:   2.5, // BL16 at 6400 MT/s
+			TCCD:  5.0,
+			TCCDS: 2.5,
+			TRRD:  5.0,
+			TFAW:  20.0,
+			TWR:   34.0,
+			TRTP:  7.5,
+			TWTR:  10.0,
+			TRFC:  210.0,
+			TREFI: 3900.0,
+			TREFW: 32e6,
+			TRFM:  210.0,
+		},
+	},
+	{
+		Name:    "HBM2E",
+		Version: 1,
+		Class:   "HBM2E",
+		Geometry: Geometry{
+			Channels:      8,
+			Ranks:         1,
+			BankGroups:    4,
+			BanksPerGroup: 4,
+			Rows:          16 * 1024,
+			Columns:       32, // 2KB rows
+			LineBytes:     64,
+		},
+		Timing: Timing{
+			Name:  "HBM2E-3200",
+			TCK:   0.625,
+			TRCD:  14.0,
+			TRP:   14.0,
+			TRAS:  33.0,
+			TCL:   14.0,
+			TCWL:  8.0,
+			TBL:   1.25,
+			TCCD:  2.0,
+			TCCDS: 1.25,
+			TRRD:  4.0,
+			TFAW:  16.0,
+			TWR:   16.0,
+			TRTP:  5.0,
+			TWTR:  8.0,
+			TRFC:  260.0,
+			TREFI: 3900.0,
+			TREFW: 32e6,
+			TRFM:  260.0,
+		},
+	},
+}
+
+// Profiles returns the device-profile catalog in display order. The
+// slice is a copy; callers may reorder or mutate it freely.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileNames lists the catalog's profile names in display order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName looks a profile up by its exact name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("ddr: unknown device profile %q (have: %s)",
+		name, strings.Join(ProfileNames(), " "))
+}

@@ -1,0 +1,91 @@
+package ddr_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pacram/internal/ddr"
+	"pacram/internal/memsys"
+)
+
+// TestProfileChannelStatsSumToTotal: under every catalog profile —
+// including the multi-channel LPDDR5 and HBM presets — the whole-system
+// stats snapshot equals the field-by-field sum of the per-channel
+// snapshots, and traffic routed by the profile's geometry reaches every
+// channel. This is the cross-package half of the profile contract: a
+// preset is only usable as memory.profile if memsys's per-channel
+// accounting holds under its geometry and timing.
+func TestProfileChannelStatsSumToTotal(t *testing.T) {
+	for _, p := range ddr.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			cfg := memsys.DefaultConfig()
+			cfg.Geometry = p.Geometry
+			cfg.Geometry.Rows = 1024 // scale down; row count does not affect the summing contract
+			cfg.Timing = p.Timing
+			sys, err := memsys.NewSystem(cfg, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sys.Mapper()
+			g := cfg.Geometry
+			pending := 0
+			for i := 0; i < 64*g.Channels; i++ {
+				addr := m.Encode(ddr.Address{
+					Channel:   i % g.Channels,
+					Rank:      i % g.Ranks,
+					BankGroup: (i / 3) % g.BankGroups,
+					Bank:      (i / 5) % g.BanksPerGroup,
+					Row:       (i * 11) % g.Rows,
+					Column:    (i * 7) % g.Columns,
+				})
+				// Write period 5 is coprime to every catalog channel count,
+				// so no channel sees writes only.
+				if i%5 == 0 {
+					sys.Issue(addr, true, nil)
+				} else {
+					pending++
+					if !sys.Issue(addr, false, func() { pending-- }) {
+						pending--
+					}
+				}
+				sys.Tick()
+			}
+			for i := 0; i < 200000 && pending > 0; i++ {
+				sys.Tick()
+			}
+			if pending != 0 {
+				t.Fatalf("%d reads never completed", pending)
+			}
+
+			var sum memsys.Stats
+			sv := reflect.ValueOf(&sum).Elem()
+			chStats := sys.ChannelStats()
+			if len(chStats) != g.Channels {
+				t.Fatalf("got %d channel snapshots for %d channels", len(chStats), g.Channels)
+			}
+			for _, st := range chStats {
+				if st.Reads == 0 {
+					t.Fatal("a channel saw no reads: profile geometry routed traffic degenerately")
+				}
+				cv := reflect.ValueOf(st)
+				for i := 0; i < cv.NumField(); i++ {
+					f := sv.Field(i)
+					switch f.Kind() {
+					case reflect.Uint64:
+						f.SetUint(f.Uint() + cv.Field(i).Uint())
+					case reflect.Float64:
+						f.SetFloat(f.Float() + cv.Field(i).Float())
+					default:
+						t.Fatalf("Stats field %s has unsummable kind %s",
+							reflect.TypeOf(sum).Field(i).Name, f.Kind())
+					}
+				}
+			}
+			sum.Cycles = sys.Cycle()
+			if got := sys.Stats(); got != sum {
+				t.Fatalf("system stats != channel sum under %s:\nsystem: %+v\nsum:    %+v", p.Name, got, sum)
+			}
+		})
+	}
+}

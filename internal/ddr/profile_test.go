@@ -1,0 +1,130 @@
+package ddr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestProfilesValidate: every catalog profile passes its own validator
+// and names are unique — the catalog contract memory.profile selection
+// rests on.
+func TestProfilesValidate(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Timing.Name == "" {
+			t.Errorf("profile %s: timing set is unnamed", p.Name)
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("catalog has %d profiles, want at least DDR4/DDR5/LPDDR5/HBM classes", len(seen))
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ProfileByName(%q) returned %q", name, p.Name)
+		}
+	}
+	_, err := ProfileByName("DDR3-1600")
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if !strings.Contains(err.Error(), "DDR5-4800") {
+		t.Fatalf("unknown-profile error does not list the catalog: %v", err)
+	}
+}
+
+// TestProfilesReturnCopies: mutating the returned slice must not
+// corrupt the catalog.
+func TestProfilesReturnCopies(t *testing.T) {
+	Profiles()[0].Name = "clobbered"
+	if Profiles()[0].Name == "clobbered" {
+		t.Fatal("Profiles() exposes the catalog backing array")
+	}
+}
+
+// TestProfileValidateRejectsInconsistent: the validator actually bites
+// on each class of inconsistency a hand-edited preset could introduce.
+func TestProfileValidateRejectsInconsistent(t *testing.T) {
+	base, err := ProfileByName("DDR5-4800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Profile){
+		"no name":         func(p *Profile) { p.Name = "" },
+		"zero version":    func(p *Profile) { p.Version = 0 },
+		"no class":        func(p *Profile) { p.Class = "" },
+		"non-pow2 rows":   func(p *Profile) { p.Geometry.Rows = 3000 },
+		"negative tRCD":   func(p *Profile) { p.Timing.TRCD = -1 },
+		"tRAS < tRCD":     func(p *Profile) { p.Timing.TRAS = p.Timing.TRCD / 2 },
+		"tREFI >= tREFW":  func(p *Profile) { p.Timing.TREFI = p.Timing.TREFW },
+		"tFAW < tRRD":     func(p *Profile) { p.Timing.TFAW = p.Timing.TRRD / 2 },
+		"tRFC >= tREFI":   func(p *Profile) { p.Timing.TRFC = p.Timing.TREFI * 2 },
+		"tCCDS > tCCDL":   func(p *Profile) { p.Timing.TCCDS = p.Timing.TCCD * 2 },
+		"wrong line size": func(p *Profile) { p.Geometry.LineBytes = 128 },
+	}
+	for name, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestProfileMappingRoundTrip: under every catalog profile's geometry,
+// the MOP address codec is a bijection over the full address space —
+// Decode(Encode(a)) == a for in-range addresses and Encode(Decode(p))
+// == p for aligned physical addresses.
+func TestProfileMappingRoundTrip(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g := p.Geometry
+			m, err := NewMOPMapper(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Corners of every dimension.
+			for _, a := range []Address{
+				{},
+				{Channel: g.Channels - 1, Rank: g.Ranks - 1, BankGroup: g.BankGroups - 1,
+					Bank: g.BanksPerGroup - 1, Row: g.Rows - 1, Column: g.Columns - 1},
+				{Channel: g.Channels / 2, Row: g.Rows / 2, Column: g.Columns / 2},
+			} {
+				if got := m.Decode(m.Encode(a)); got != a {
+					t.Fatalf("round trip failed: %+v -> %+v", a, got)
+				}
+			}
+			// Property over random physical addresses.
+			mask := uint64(1)<<m.AddressBits() - 1
+			f := func(phys uint64) bool {
+				pp := phys & mask &^ uint64(g.LineBytes-1)
+				a := m.Decode(pp)
+				return g.Contains(a) && m.Encode(a) == pp
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+			// The row stride really advances the row by exactly one.
+			base := m.Encode(Address{Row: 1})
+			next := m.Decode(base + m.RowStrideBytes())
+			if next.Row != 2 || next.Channel != 0 || next.Column != 0 {
+				t.Fatalf("row stride landed at %+v", next)
+			}
+		})
+	}
+}

@@ -61,6 +61,7 @@ type resolvedCore struct {
 	Spec   *trace.Spec       `json:"spec,omitempty"`
 	Attack *trace.AttackSpec `json:"attack,omitempty"`
 	Phased *phasedCore       `json:"phased,omitempty"`
+	Replay *replayCore       `json:"replay,omitempty"`
 }
 
 type phasedCore struct {
@@ -398,6 +399,9 @@ func (rc *resolvedCell) simOptions(cores []resolvedCore) (sim.Options, error) {
 				phases[pi] = trace.Phase{Spec: ph.Spec, Accesses: ph.Accesses}
 			}
 			gen, err = trace.NewPhased(c.Phased.Name, phases, seed)
+		case c.Replay != nil:
+			// Replay is fully deterministic; the per-core seed is unused.
+			gen, err = trace.NewReplay(c.Replay.Name, c.Replay.recs)
 		default:
 			err = fmt.Errorf("scenario: internal: empty resolved core %d", i)
 		}
@@ -443,7 +447,15 @@ func (s *Spec) baseCell() cell {
 // map onto memsys.Config; TRFCScale is returned, not applied — it is
 // a multiplier, so "last patch wins" must be resolved by the caller
 // before scaling once.
-func applyMem(mem *memsys.Config, m MemParams) (trfcScale float64) {
+func applyMem(mem *memsys.Config, m MemParams) (trfcScale float64, err error) {
+	if m.Profile != "" {
+		p, err := ddr.ProfileByName(m.Profile)
+		if err != nil {
+			return 0, err
+		}
+		mem.Geometry = p.Geometry
+		mem.Timing = p.Timing
+	}
 	if m.Channels != 0 {
 		mem.Geometry.Channels = m.Channels
 	}
@@ -480,16 +492,23 @@ func applyMem(mem *memsys.Config, m MemParams) (trfcScale float64) {
 	if m.RefreshEnabled != nil {
 		mem.RefreshEnabled = *m.RefreshEnabled
 	}
-	return m.TRFCScale
+	return m.TRFCScale, nil
 }
 
 // resolveCell turns a cell into a runnable configuration, validating
 // geometry, mechanism and PaCRAM derivability.
 func (s *Spec) resolveCell(c cell, path string) (*resolvedCell, error) {
 	mem := sim.SmallMemConfig()
-	trfc := applyMem(&mem, c.mem)
+	trfc, err := applyMem(&mem, c.mem)
+	if err != nil {
+		return nil, s.errf(path+": memory.profile", "%v", err)
+	}
 	if c.memPatch != nil {
-		if v := applyMem(&mem, *c.memPatch); v != 0 {
+		v, err := applyMem(&mem, *c.memPatch)
+		if err != nil {
+			return nil, s.errf(path+": memory.profile", "%v", err)
+		}
+		if v != 0 {
 			trfc = v
 		}
 	}
@@ -613,6 +632,8 @@ func memberName(cores []resolvedCore) string {
 			parts = append(parts, c.Attack.Name)
 		case c.Phased != nil:
 			parts = append(parts, c.Phased.Name)
+		case c.Replay != nil:
+			parts = append(parts, c.Replay.Name)
 		}
 	}
 	if len(parts) == 1 {
@@ -624,13 +645,13 @@ func memberName(cores []resolvedCore) string {
 // resolveCore lowers one CoreSpec into canonical form.
 func (s *Spec) resolveCore(path string, idx int, cs CoreSpec) (resolvedCore, error) {
 	set := 0
-	for _, on := range []bool{cs.Workload != "", cs.Synthetic != nil, cs.Attacker != nil, len(cs.Phases) > 0} {
+	for _, on := range []bool{cs.Workload != "", cs.Synthetic != nil, cs.Attacker != nil, cs.Trace != nil, len(cs.Phases) > 0} {
 		if on {
 			set++
 		}
 	}
 	if set != 1 {
-		return resolvedCore{}, s.errf(path, "give exactly one of workload, synthetic, attacker or phases")
+		return resolvedCore{}, s.errf(path, "give exactly one of workload, synthetic, attacker, trace or phases")
 	}
 	switch {
 	case cs.Workload != "":
@@ -651,12 +672,15 @@ func (s *Spec) resolveCore(path string, idx int, cs CoreSpec) (resolvedCore, err
 	case cs.Attacker != nil:
 		a := cs.Attacker
 		as := trace.AttackSpec{
-			Name:        a.Name,
-			Sides:       a.Sides,
-			StrideBytes: a.StrideKB * 1024,
-			Bubbles:     a.Bubbles,
-			VictimEvery: a.VictimEvery,
-			FootprintMB: a.FootprintMB,
+			Name:          a.Name,
+			Sides:         a.Sides,
+			StrideBytes:   a.StrideKB * 1024,
+			Bubbles:       a.Bubbles,
+			VictimEvery:   a.VictimEvery,
+			FootprintMB:   a.FootprintMB,
+			OpenRowReads:  a.OpenRowReads,
+			BurstAccesses: a.BurstAccesses,
+			RestBubbles:   a.RestBubbles,
 		}
 		if err := as.Validate(); err != nil {
 			return resolvedCore{}, s.errf(path+".attacker", "%v", err)
@@ -670,6 +694,12 @@ func (s *Spec) resolveCore(path string, idx int, cs CoreSpec) (resolvedCore, err
 		as = as.WithDefaults()
 		as.StrideBytes = a.StrideKB * 1024
 		return resolvedCore{Attack: &as}, nil
+	case cs.Trace != nil:
+		rp, err := s.resolveReplay(path+".trace", cs.Trace)
+		if err != nil {
+			return resolvedCore{}, err
+		}
+		return resolvedCore{Replay: rp}, nil
 	default:
 		name := cs.Name
 		if name == "" {
@@ -929,6 +959,15 @@ func parseAxisValue(param string, raw json.RawMessage) (axisValue, error) {
 		return uintVal(func(c *cell, v uint64) { c.sim.Warmup = v })
 	case "seed":
 		return uintVal(func(c *cell, v uint64) { c.sim.Seed = v })
+	case "memory.profile":
+		var v string
+		if err := strict(&v); err != nil {
+			return axisValue{}, err
+		}
+		if _, err := ddr.ProfileByName(v); err != nil {
+			return axisValue{}, err
+		}
+		return axisValue{display: v, apply: func(c *cell) { c.mem.Profile = v }}, nil
 	case "memory.channels":
 		return intVal(func(c *cell, v int) { c.mem.Channels = v })
 	case "memory.rows":
@@ -951,6 +990,7 @@ func parseAxisValue(param string, raw json.RawMessage) (axisValue, error) {
 		return floatVal(func(c *cell, v float64) { c.mem.CPUFreqGHz = v })
 	}
 	return axisValue{}, fmt.Errorf("unknown sweep parameter %q (have: mitigation nrh pacram periodicExtension "+
-		"instructions warmup seed memory.channels memory.rows memory.ranks memory.bankGroups memory.banksPerGroup "+
-		"memory.mopWidth memory.blastRadius memory.refreshEnabled memory.trfcScale memory.cpuFreqGHz)", param)
+		"instructions warmup seed memory.profile memory.channels memory.rows memory.ranks memory.bankGroups "+
+		"memory.banksPerGroup memory.mopWidth memory.blastRadius memory.refreshEnabled memory.trfcScale "+
+		"memory.cpuFreqGHz)", param)
 }

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacram/internal/trace"
+)
+
+// TestReplayFormIdentity pins the content-addressing contract of
+// trace cores: the same records as an inline paste, a text file and a
+// binary file must resolve to the same digest — the workload identity
+// in the job key — so all three forms collapse onto one cached cell.
+// The name is display-only and must not perturb the digest.
+func TestReplayFormIdentity(t *testing.T) {
+	text := "# fixture\n3 0x1000 R\n0 0x2040 W\n7 0x1000 R\n"
+	recs, err := trace.ReadRecords(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "a.trace")
+	if err := os.WriteFile(textPath, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := trace.EncodeBinary(&bin, recs); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "a.bin")
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &Spec{Name: "x"}
+	forms := map[string]*TraceSpec{
+		"inline": {Name: "k", Inline: text},
+		"text":   {Name: "other-name", Path: textPath},
+		"binary": {Name: "k", Path: binPath},
+	}
+	var digest string
+	for form, ts := range forms {
+		rc, err := s.resolveReplay("cores[0].trace", ts)
+		if err != nil {
+			t.Fatalf("%s: %v", form, err)
+		}
+		if !reflect.DeepEqual(rc.recs, recs) {
+			t.Errorf("%s: records differ from source", form)
+		}
+		if digest == "" {
+			digest = rc.Digest
+		} else if rc.Digest != digest {
+			t.Errorf("%s: digest %s != %s (forms must collapse onto one cell)", form, rc.Digest, digest)
+		}
+	}
+
+	// Loop truncation changes the records, so it must change the
+	// identity.
+	rc, err := s.resolveReplay("cores[0].trace", &TraceSpec{Inline: text, Loop: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.recs) != 2 {
+		t.Errorf("loop 2: got %d records", len(rc.recs))
+	}
+	if rc.Digest == digest {
+		t.Error("loop truncation left the digest unchanged")
+	}
+}
+
+// TestLoadFileInlinesTraces pins LoadFile's self-containment rewrite:
+// a relative trace path resolves against the spec file's directory,
+// the loaded spec carries the records inline (so it survives the wire
+// and a working-directory change), and the rewrite preserves both the
+// path-derived display name and the content digest.
+func TestLoadFileInlinesTraces(t *testing.T) {
+	dir := t.TempDir()
+	text := "3 0x1000 R\n0 0x2040 W\n"
+	if err := os.MkdirAll(filepath.Join(dir, "traces"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "traces", "k.trace"), []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{
+	  "name": "x",
+	  "sim": { "instructions": 1000 },
+	  "workloads": [{ "name": "g", "members": [
+	    { "cores": [ { "trace": { "path": "traces/k.trace" } } ] } ] }],
+	  "columns": [{ "name": "ipc", "group": "g", "metric": "sumIPC" }]
+	}`
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := s.Workloads[0].Members[0].Cores[0].Trace
+	if ts.Path != "" || ts.Inline == "" {
+		t.Fatalf("trace not inlined: path %q, inline %d bytes", ts.Path, len(ts.Inline))
+	}
+	if ts.Name != "k" {
+		t.Errorf("path-derived name lost: %q", ts.Name)
+	}
+	rc, err := s.resolveReplay("t", ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.resolveReplay("t", &TraceSpec{Name: "k", Inline: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Digest != want.Digest {
+		t.Errorf("inlining changed the digest: %s != %s", rc.Digest, want.Digest)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("loaded spec no longer self-validates: %v", err)
+	}
+}
+
+// TestReplayErrors covers the resolver's validation paths.
+func TestReplayErrors(t *testing.T) {
+	s := &Spec{Name: "x"}
+	cases := map[string]*TraceSpec{
+		"neither":  {},
+		"both":     {Path: "a", Inline: "3 0x0 R\n"},
+		"negLoop":  {Inline: "3 0x0 R\n", Loop: -1},
+		"missing":  {Path: filepath.Join(t.TempDir(), "nope.trace")},
+		"badText":  {Inline: "not a trace line\n"},
+		"emptyRec": {Inline: "# only a comment\n"},
+	}
+	for name, ts := range cases {
+		if _, err := s.resolveReplay("cores[0].trace", ts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

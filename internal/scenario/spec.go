@@ -16,6 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
+
+	"pacram/internal/trace"
 )
 
 // Spec is one declarative experiment.
@@ -67,6 +71,12 @@ type SimParams struct {
 // MemParams override the base memory system (sim.SmallMemConfig: the
 // paper's DDR5 system at 4096 rows/bank). Zero fields inherit.
 type MemParams struct {
+	// Profile selects a named device preset from ddr.Profiles() —
+	// geometry and timing wholesale — before the explicit fields below
+	// overlay it, so {"profile": "DDR4-2400", "rows": 4096} is the
+	// DDR4 part scaled down. Empty inherits the base configuration
+	// unchanged (the paper's DDR5 system), byte for byte.
+	Profile string `json:"profile,omitempty"`
 	// Channels sets the memory-channel count (each channel gets its
 	// own controller, queues, refresh schedule and mitigation
 	// instance; see memsys.System).
@@ -143,7 +153,7 @@ type Member struct {
 }
 
 // CoreSpec is one core's workload: exactly one of Workload, Synthetic,
-// Attacker or Phases.
+// Attacker, Trace or Phases.
 type CoreSpec struct {
 	// Name labels phased workloads (optional elsewhere).
 	Name string `json:"name,omitempty"`
@@ -155,8 +165,34 @@ type CoreSpec struct {
 	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
 	// Attacker is an adversarial hammer generator.
 	Attacker *AttackerSpec `json:"attacker,omitempty"`
+	// Trace replays an external memory-access trace.
+	Trace *TraceSpec `json:"trace,omitempty"`
 	// Phases cycle multiple synthetic behaviours on one core.
 	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// TraceSpec replays an external memory-access trace on one core,
+// cyclically when the instruction budget outruns it. Exactly one of
+// Path and Inline: Path names a trace file in either format (text or
+// binary, auto-detected), Inline embeds the text form in the spec
+// itself — self-contained, so the spec ships whole to fabric workers
+// and catalog entries carry their traces with them. Loop > 0 replays
+// only the trace's first Loop records. Identity is content-addressed:
+// the digest of the records' canonical binary encoding goes into the
+// job key, so a text trace, its binary re-encoding and an inline paste
+// of the same records all collapse onto one cell.
+type TraceSpec struct {
+	// Name labels the workload in tables ("" derives one from the path
+	// or the digest).
+	Name string `json:"name,omitempty"`
+	// Path is a trace file in either format. Relative paths in a spec
+	// file resolve against the file's directory; LoadFile inlines the
+	// records so the loaded spec is self-contained.
+	Path string `json:"path,omitempty"`
+	// Inline is the text form embedded directly in the spec.
+	Inline string `json:"inline,omitempty"`
+	// Loop truncates replay to the first Loop records (0 = all).
+	Loop int `json:"loop,omitempty"`
 }
 
 // SyntheticSpec mirrors trace.Spec with a JSON-friendly pattern name.
@@ -192,6 +228,15 @@ type AttackerSpec struct {
 	Bubbles     int `json:"bubbles,omitempty"`
 	VictimEvery int `json:"victimEvery,omitempty"`
 	FootprintMB int `json:"footprintMB,omitempty"`
+	// OpenRowReads issues row-press-style same-row reads after every
+	// aggressor activation — long open-row windows with few tracked
+	// activations (see trace.AttackSpec.OpenRowReads).
+	OpenRowReads int `json:"openRowReads,omitempty"`
+	// BurstAccesses and RestBubbles shape the hammer into bursts
+	// separated by quiet windows aimed at tracker reset boundaries
+	// (PRAC counter resets, Graphene/Hydra estimation windows).
+	BurstAccesses int `json:"burstAccesses,omitempty"`
+	RestBubbles   int `json:"restBubbles,omitempty"`
 }
 
 // PhaseSpec is one leg of a phased core: a catalog or synthetic
@@ -262,7 +307,13 @@ func Load(r io.Reader) (*Spec, error) {
 	return Parse(data)
 }
 
-// LoadFile reads and decodes a spec file.
+// LoadFile reads and decodes a spec file, then inlines any path-based
+// trace cores — relative trace paths resolve against the spec file's
+// directory — so the loaded spec is self-contained: it validates,
+// runs and ships over the wire (remote submission, fabric dispatch)
+// identically from any working directory. Content addressing makes
+// the rewrite invisible: the records' canonical digest, not the file
+// path, is the cell identity.
 func LoadFile(path string) (*Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -272,7 +323,45 @@ func LoadFile(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if err := s.inlineTraces(filepath.Dir(path)); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
 	return s, nil
+}
+
+// inlineTraces rewrites every path-based trace core into its inline
+// text form, resolving relative paths against dir. The display name
+// keeps its path-derived default, so the rewritten spec renders the
+// identical table.
+func (s *Spec) inlineTraces(dir string) error {
+	for gi := range s.Workloads {
+		for mi := range s.Workloads[gi].Members {
+			for ci := range s.Workloads[gi].Members[mi].Cores {
+				ts := s.Workloads[gi].Members[mi].Cores[ci].Trace
+				if ts == nil || ts.Path == "" {
+					continue
+				}
+				p := ts.Path
+				if !filepath.IsAbs(p) {
+					p = filepath.Join(dir, p)
+				}
+				recs, err := trace.ReadFile(p)
+				if err != nil {
+					return err
+				}
+				var buf bytes.Buffer
+				if err := trace.WriteRecords(&buf, recs); err != nil {
+					return err
+				}
+				if ts.Name == "" {
+					ts.Name = strings.TrimSuffix(filepath.Base(ts.Path), filepath.Ext(ts.Path))
+				}
+				ts.Inline = buf.String()
+				ts.Path = ""
+			}
+		}
+	}
+	return nil
 }
 
 // Validate fully resolves the spec — sweep points, workloads, memory
@@ -280,6 +369,81 @@ func LoadFile(path string) (*Spec, error) {
 func (s *Spec) Validate() error {
 	_, err := s.Compile()
 	return err
+}
+
+// MemoryProfile summarizes the device profile(s) the spec uses, for
+// catalog listings: "default" when it inherits the base system, the
+// profile's name when one is pinned, "N profiles" when swept.
+func (s *Spec) MemoryProfile() string {
+	seen := make(map[string]bool)
+	var list []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			list = append(list, n)
+		}
+	}
+	if s.Memory != nil {
+		add(s.Memory.Profile)
+	}
+	if s.Baseline != nil && s.Baseline.Memory != nil {
+		add(s.Baseline.Memory.Profile)
+	}
+	if s.Sweep != nil {
+		for _, ax := range s.Sweep.Axes {
+			if ax.Param != "memory.profile" {
+				continue
+			}
+			for _, raw := range ax.Values {
+				var v string
+				if json.Unmarshal(raw, &v) == nil {
+					add(v)
+				}
+			}
+		}
+	}
+	switch len(list) {
+	case 0:
+		return "default"
+	case 1:
+		return list[0]
+	}
+	return fmt.Sprintf("%d profiles", len(list))
+}
+
+// Sources summarizes the workload source kinds the spec's members
+// draw from ("mix+attacker", "workload+trace", ...), for catalog
+// listings.
+func (s *Spec) Sources() string {
+	kinds := make(map[string]bool)
+	for _, g := range s.Workloads {
+		for _, m := range g.Members {
+			if m.Mix != "" {
+				kinds["mix"] = true
+			}
+			for _, c := range m.Cores {
+				switch {
+				case c.Workload != "":
+					kinds["workload"] = true
+				case c.Synthetic != nil:
+					kinds["synthetic"] = true
+				case c.Attacker != nil:
+					kinds["attacker"] = true
+				case c.Trace != nil:
+					kinds["trace"] = true
+				case len(c.Phases) > 0:
+					kinds["phased"] = true
+				}
+			}
+		}
+	}
+	var out []string
+	for _, k := range []string{"mix", "workload", "synthetic", "attacker", "trace", "phased"} {
+		if kinds[k] {
+			out = append(out, k)
+		}
+	}
+	return strings.Join(out, "+")
 }
 
 // errf builds a scenario-scoped error with a precise field path, e.g.

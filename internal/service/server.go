@@ -227,6 +227,8 @@ func New(cfg Config) (*Server, error) {
 			Description: sp.Description,
 			Cells:       p.Jobs(),
 			Rows:        p.Rows(),
+			Profile:     sp.MemoryProfile(),
+			Source:      sp.Sources(),
 		})
 	}
 

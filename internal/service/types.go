@@ -65,6 +65,12 @@ type CatalogEntry struct {
 	// compiles to; Rows the number of output table rows.
 	Cells int `json:"cells"`
 	Rows  int `json:"rows"`
+	// Profile is the device profile the scenario pins or sweeps
+	// ("default" when it inherits the base system); Source the
+	// workload source kinds its members use. Both are additive wire
+	// fields: old clients ignore them, old servers omit them.
+	Profile string `json:"profile,omitempty"`
+	Source  string `json:"source,omitempty"`
 }
 
 // ValidateResponse reports a validation outcome. On failure the

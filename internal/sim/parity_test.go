@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"strings"
@@ -216,6 +217,88 @@ func TestEngineParityAdversarial(t *testing.T) {
 		opt.Warmup = 800
 		return opt
 	})
+
+	// The same records round-tripped through the binary trace format
+	// must drive the identical simulation (decode canonicalizes to the
+	// very records it encoded).
+	runBoth(t, "replay-binary", func() Options {
+		src, err := trace.SpecByName("470.lbm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := trace.New(src, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.EncodeBinary(&buf, trace.Capture(syn, 4000)); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := trace.DecodeBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := trace.NewReplay("lbm-file", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Generators = []trace.Generator{replay}
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 8_000
+		opt.Warmup = 800
+		return opt
+	})
+
+	// Directed patterns from ISSUE/ROADMAP item 3: row-press long
+	// open-row tails and burst/rest windows timed against tracker
+	// resets. Both reshape the per-bank arrival process (back-to-back
+	// row hits; long idle gaps), which is exactly what the event-horizon
+	// engine's leap logic must not misjudge.
+	runBoth(t, "rowpress-prac", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 6_000
+		opt.Warmup = 600
+		opt.Mitigation = "PRAC"
+		opt.NRH = 64
+		opt.Generators = []trace.Generator{
+			attackerGen(WorkloadSeed(opt.Seed, 0), trace.AttackSpec{Sides: 2, OpenRowReads: 3, VictimEvery: 64}),
+			specGen(t, "456.hmmer", WorkloadSeed(opt.Seed, 1)),
+		}
+		return opt
+	})
+
+	runBoth(t, "burst-reset-hydra", func() Options {
+		opt := DefaultOptions()
+		opt.MemCfg = SmallMemConfig()
+		opt.Instructions = 6_000
+		opt.Warmup = 600
+		opt.Mitigation = "Hydra"
+		opt.NRH = 64
+		opt.Generators = []trace.Generator{
+			attackerGen(WorkloadSeed(opt.Seed, 0), trace.AttackSpec{Sides: 8, BurstAccesses: 48, RestBubbles: 2000, VictimEvery: 64}),
+			specGen(t, "456.hmmer", WorkloadSeed(opt.Seed, 1)),
+		}
+		return opt
+	})
+}
+
+// TestEngineParityDeviceProfiles runs both engines under every catalog
+// device profile (geometry and timing wholesale, rows scaled down for
+// speed): the multi-channel LPDDR5/HBM presets and the slower DDR4
+// timing must leap identically to the paper's DDR5 system.
+func TestEngineParityDeviceProfiles(t *testing.T) {
+	for _, p := range ddr.Profiles() {
+		p := p
+		runBoth(t, "profile-"+p.Name, func() Options {
+			opt := parityOpts(t, "470.lbm", "ycsb-a")()
+			opt.MemCfg.Geometry = p.Geometry
+			opt.MemCfg.Geometry.Rows = 4096
+			opt.MemCfg.Timing = p.Timing
+			return opt
+		})
+	}
 }
 
 // TestEngineParityMultiChannel extends the parity proof beyond the

@@ -40,6 +40,26 @@ type AttackSpec struct {
 	// FootprintMB is the region the attack pattern is placed in
 	// (0 defaults to 64MB); the base address is drawn from the seed.
 	FootprintMB int
+	// OpenRowReads issues this many extra column reads at consecutive
+	// lines after every aggressor activation — a row-press-style
+	// pattern that holds aggressor rows open longer per activation, so
+	// disturbance grows while the activation count the
+	// PRAC/Graphene/Hydra trackers meter stays low. Under the default
+	// MOP-4 mapping the first three extra reads are same-row hits in
+	// the aggressor's MOP group. The new fields are omitempty so specs
+	// without them hash exactly as before they existed.
+	OpenRowReads int `json:",omitempty"`
+	// BurstAccesses, when positive, shapes the hammer into bursts:
+	// after every BurstAccesses accesses the next record carries
+	// RestBubbles extra bubbles. The quiet windows are aimed at
+	// tracker reset boundaries — PRAC counters reset when a row is
+	// refreshed, Graphene and Hydra reset per estimation window — so a
+	// many-sided burst that stays just under the per-window threshold
+	// resumes with a cleared tracker.
+	BurstAccesses int `json:",omitempty"`
+	// RestBubbles is the extra bubble count opening each post-burst
+	// quiet window (requires BurstAccesses).
+	RestBubbles int `json:",omitempty"`
 }
 
 // WithDefaults returns the spec with zero fields replaced by defaults,
@@ -55,7 +75,14 @@ func (s AttackSpec) WithDefaults() AttackSpec {
 		s.FootprintMB = 64
 	}
 	if s.Name == "" {
-		s.Name = fmt.Sprintf("hammer-%dside", s.Sides)
+		switch {
+		case s.OpenRowReads > 0:
+			s.Name = fmt.Sprintf("rowpress-%dside", s.Sides)
+		case s.BurstAccesses > 0:
+			s.Name = fmt.Sprintf("burst-%dside", s.Sides)
+		default:
+			s.Name = fmt.Sprintf("hammer-%dside", s.Sides)
+		}
 	}
 	return s
 }
@@ -79,6 +106,17 @@ func (s AttackSpec) Validate() error {
 	case uint64(2*s.Sides+1)*uint64(s.StrideBytes) > uint64(s.FootprintMB)<<20:
 		return fmt.Errorf("trace: %s: attack pattern (%d sides x %dB stride) exceeds %dMB footprint",
 			s.Name, s.Sides, s.StrideBytes, s.FootprintMB)
+	case s.OpenRowReads < 0:
+		return fmt.Errorf("trace: %s: negative open-row read count", s.Name)
+	case (s.OpenRowReads+1)*lineBytes > s.StrideBytes:
+		return fmt.Errorf("trace: %s: %d open-row reads overrun the %dB aggressor stride",
+			s.Name, s.OpenRowReads, s.StrideBytes)
+	case s.BurstAccesses < 0:
+		return fmt.Errorf("trace: %s: negative burst length", s.Name)
+	case s.RestBubbles < 0:
+		return fmt.Errorf("trace: %s: negative rest bubble count", s.Name)
+	case s.RestBubbles > 0 && s.BurstAccesses == 0:
+		return fmt.Errorf("trace: %s: restBubbles needs burstAccesses to delimit the bursts", s.Name)
 	}
 	return nil
 }
@@ -92,6 +130,10 @@ type attacker struct {
 	base uint64
 	idx  int
 	hits int // hammer accesses since the last victim read
+
+	lastAgg   uint64 // most recent aggressor address (open-row reads target it)
+	press     int    // open-row reads still owed for lastAgg
+	sinceRest int    // accesses emitted since the last rest window
 }
 
 // NewAttacker builds a deterministic adversarial generator. Clones
@@ -124,6 +166,19 @@ func (g *attacker) Clone() Generator {
 
 func (g *attacker) Next() Record {
 	rec := Record{Bubbles: g.spec.Bubbles}
+	if g.spec.BurstAccesses > 0 && g.sinceRest >= g.spec.BurstAccesses {
+		rec.Bubbles += g.spec.RestBubbles
+		g.sinceRest = 0
+	}
+	g.sinceRest++
+	if g.press > 0 {
+		// Row-press tail: consecutive lines after the last aggressor
+		// activation, keeping its row open.
+		k := g.spec.OpenRowReads - g.press + 1
+		g.press--
+		rec.Addr = g.lastAgg + uint64(k)*lineBytes
+		return rec
+	}
 	if g.spec.VictimEvery > 0 && g.hits >= g.spec.VictimEvery {
 		g.hits = 0
 		// Read one of the rows between aggressors, chosen at random so
@@ -135,6 +190,8 @@ func (g *attacker) Next() Record {
 	rec.Addr = g.base + 2*uint64(g.idx)*uint64(g.spec.StrideBytes)
 	g.idx = (g.idx + 1) % g.spec.Sides
 	g.hits++
+	g.lastAgg = rec.Addr
+	g.press = g.spec.OpenRowReads
 	return rec
 }
 

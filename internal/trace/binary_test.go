@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Bubbles: 10, Addr: 0x1000},
+		{Bubbles: 0, Addr: 0x1000 - 64, Write: true}, // backward delta
+		{Bubbles: 3, Addr: 1 << 40},                  // far jump
+		{Bubbles: 0, Addr: 0},
+		{Bubbles: 1 << 20, Addr: 64},
+	}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip changed length: %d -> %d", len(recs), len(back))
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+func TestBinaryCanonicalizesAlignment(t *testing.T) {
+	// Encoding aligns addresses to lineBytes exactly as the text reader
+	// does, so both paths produce the same records for the same access.
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, []Record{{Bubbles: 1, Addr: 0x1007}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Addr != 0x1000 {
+		t.Fatalf("address not line-aligned: %#x", back[0].Addr)
+	}
+}
+
+func TestBinaryMatchesTextParse(t *testing.T) {
+	// A text trace and its binary re-encoding must parse to identical
+	// records — the property that lets the two file forms share a cell.
+	spec, _ := SpecByName("429.mcf")
+	g, err := New(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Capture(g, 1000)
+
+	var text, bin bytes.Buffer
+	if err := WriteRecords(&text, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, recs); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary encoding (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+
+	fromText, err := ReadRecords(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadRecords(&bin) // exercises auto-detection
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText) != len(fromBin) {
+		t.Fatalf("lengths diverge: text %d, binary %d", len(fromText), len(fromBin))
+	}
+	for i := range fromText {
+		if fromText[i] != fromBin[i] {
+			t.Fatalf("record %d diverges: text %+v, binary %+v", i, fromText[i], fromBin[i])
+		}
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, []Record{{Bubbles: 1, Addr: 64}, {Bubbles: 2, Addr: 128, Write: true}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty":             nil,
+		"short header":      valid[:3],
+		"bad magic":         append([]byte("XXXX"), valid[4:]...),
+		"bad version":       append([]byte("PACT\xff"), valid[5:]...),
+		"no count":          valid[:5],
+		"zero count":        append(append([]byte{}, valid[:5]...), 0),
+		"truncated record":  valid[:len(valid)-1],
+		"trailing garbage":  append(append([]byte{}, valid...), 0xaa),
+		"insane count":      append(append([]byte{}, valid[:5]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"overflowing count": append(append([]byte{}, valid[:5]...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01),
+	}
+	for name, in := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	if _, err := DecodeBinary(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestEncodeBinaryRejectsNegativeBubbles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, []Record{{Bubbles: -1, Addr: 64}}); err == nil {
+		t.Fatal("negative bubble count accepted")
+	}
+}
+
+func TestReadRecordsFormatDispatch(t *testing.T) {
+	// Anything opening with the magic is judged as binary — here a bad
+	// version byte — while a near-miss prefix goes down the text path
+	// and fails as text, with a line number.
+	if _, err := ReadRecords(strings.NewReader("PACT but not binary\n")); err == nil {
+		t.Fatal("magic-prefixed garbage accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want a binary version error, got: %v", err)
+	}
+	if _, err := ReadRecords(strings.NewReader("PAC but not binary\n")); err == nil {
+		t.Fatal("accepted")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("want a text-parse error naming line 1, got: %v", err)
+	}
+}

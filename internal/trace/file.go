@@ -2,19 +2,23 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
 
-// File format: one record per line, Ramulator-style —
+// Text file format: one record per line, Ramulator-style —
 //
 //	<bubbles> <hex-or-dec address> [R|W]
 //
 // The access kind defaults to R when omitted. Lines starting with '#'
 // and blank lines are skipped. This lets users replay real SimPoint
-// traces instead of the synthetic catalog.
+// traces instead of the synthetic catalog. A compact binary format
+// lives beside it (see binary.go); ReadRecords auto-detects which one
+// it was handed.
 
 // WriteRecords serializes records to w in the file format.
 func WriteRecords(w io.Writer, recs []Record) error {
@@ -31,16 +35,51 @@ func WriteRecords(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadRecords parses a trace file.
+// maxLineBytes bounds one text-trace line. No legitimate record comes
+// close; a line this long means a corrupt or misidentified file, and
+// the reader says which line rather than scanning gigabytes for a
+// newline that never comes.
+const maxLineBytes = 1 << 20
+
+// errLineTooLong is the internal overlong-line signal; ReadRecords
+// turns it into a positioned error.
+var errLineTooLong = errors.New("line too long")
+
+// ReadRecords parses a trace in either format: binary traces are
+// recognized by their magic, anything else is read as text.
 func ReadRecords(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(len(binaryMagic)); err == nil && [4]byte(head) == binaryMagic {
+		return DecodeBinary(br)
+	}
+	return readTextRecords(br)
+}
+
+// readTextRecords parses the text format line by line. Unlike a
+// bufio.Scanner, which gives up on an overlong line with an unlocated
+// "token too long", this names the offending line.
+func readTextRecords(br *bufio.Reader) ([]Record, error) {
 	var recs []Record
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		raw, err := readLine(br)
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			if errors.Is(err, errLineTooLong) {
+				return nil, fmt.Errorf("trace: line %d: line exceeds %d bytes (corrupt file, or a binary trace missing its magic?)",
+					lineNo+1, maxLineBytes)
+			}
+			return nil, err
+		}
+		if atEOF && raw == "" {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				break
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -51,8 +90,8 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 		if err != nil || bubbles < 0 {
 			return nil, fmt.Errorf("trace: line %d: bad bubble count %q", lineNo, fields[0])
 		}
-		raw := strings.TrimPrefix(strings.TrimPrefix(fields[1], "0x"), "0X")
-		addr, err := strconv.ParseUint(raw, hexBase(fields[1]), 64)
+		raw2 := strings.TrimPrefix(strings.TrimPrefix(fields[1], "0x"), "0X")
+		addr, err := strconv.ParseUint(raw2, hexBase(fields[1]), 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
 		}
@@ -67,12 +106,44 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 			}
 		}
 		recs = append(recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		if atEOF {
+			break
+		}
 	}
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return recs, nil
+}
+
+// readLine reads one newline-terminated line (the newline stripped by
+// the caller's TrimSpace), failing with errLineTooLong once a line
+// outgrows maxLineBytes instead of buffering it whole.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > maxLineBytes {
+			return "", errLineTooLong
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return string(buf), err
+	}
+}
+
+// ReadFile reads and parses a trace file in either format.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return recs, nil
 }

@@ -73,6 +73,33 @@ func TestReadRecordsErrors(t *testing.T) {
 	}
 }
 
+func TestReadRecordsOverlongLine(t *testing.T) {
+	// Regression: the scanner-based reader gave up on lines over its 1MB
+	// buffer with an unlocated "token too long". The reader must instead
+	// name the offending line.
+	in := "1 0x40 R\n2 0x80 W\n# " + strings.Repeat("x", maxLineBytes+16) + "\n"
+	_, err := ReadRecords(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("overlong line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not name line 3: %v", err)
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("error does not describe the limit: %v", err)
+	}
+}
+
+func TestReadRecordsNoFinalNewline(t *testing.T) {
+	recs, err := ReadRecords(strings.NewReader("1 0x40 R\n2 0x80 W"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Addr != 0x80 || !recs[1].Write {
+		t.Fatalf("parsed %+v", recs)
+	}
+}
+
 func TestReplayLoops(t *testing.T) {
 	recs := []Record{
 		{Bubbles: 1, Addr: 64},
